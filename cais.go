@@ -1,0 +1,121 @@
+// Package cais is the public facade of the CAIS reproduction: a
+// discrete-event simulation stack for compute-aware in-switch computing on
+// NVLink/NVSwitch multi-GPU systems, reproducing "Towards Compute-Aware
+// In-Switch Computing for LLMs Tensor-Parallelism on Multi-GPU Systems"
+// (HPCA 2026).
+//
+// The facade exposes three levels:
+//
+//   - Canonical workloads: RunInference / RunTraining / RunSubLayer execute
+//     the paper's transformer workloads under any of the twelve execution
+//     strategies (CAIS, its ablations, and the nine baselines).
+//   - Experiments: RunExperiment regenerates any table or figure of the
+//     paper's evaluation section by ID (see ExperimentNames).
+//   - Sessions: NewSession (internal/core) composes custom kernel
+//     pipelines against the same simulated machine for bespoke studies.
+package cais
+
+import (
+	"cais/internal/config"
+	"cais/internal/core"
+	"cais/internal/experiments"
+	"cais/internal/machine"
+	"cais/internal/model"
+	"cais/internal/sim"
+	"cais/internal/strategy"
+)
+
+// Re-exported core types.
+type (
+	// Hardware is the simulated system configuration (GPUs, switches,
+	// links, merge tables).
+	Hardware = config.Hardware
+	// Model is one LLM workload configuration (Table I).
+	Model = config.Model
+	// Strategy is one execution strategy (CAIS or a baseline).
+	Strategy = strategy.Spec
+	// RunOptions are per-run experiment knobs.
+	RunOptions = strategy.Options
+	// Result is a simulated run's outcome.
+	Result = strategy.Result
+	// SubLayer is one of the paper's communication-intensive sub-layer
+	// pipelines (Fig. 12's L1-L4).
+	SubLayer = model.SubLayer
+	// Session composes custom kernel pipelines (see internal/core).
+	Session = core.Session
+	// SessionOptions tune session machine assembly.
+	SessionOptions = machine.Options
+	// ExperimentConfig tunes experiment fidelity.
+	ExperimentConfig = experiments.Config
+	// Time is simulated time in picoseconds.
+	Time = sim.Time
+)
+
+// DGXH100 returns the paper's simulated system configuration.
+func DGXH100() Hardware { return config.DGXH100() }
+
+// TableIModels returns the three evaluation models.
+func TableIModels() []Model { return config.TableIModels() }
+
+// LLaMA7B returns the LLaMA-7B configuration of Table I.
+func LLaMA7B() Model { return config.LLaMA7B() }
+
+// MegaGPT4B returns the Mega-GPT-4B configuration of Table I.
+func MegaGPT4B() Model { return config.MegaGPT4B() }
+
+// MegaGPT8B returns the Mega-GPT-8B configuration of Table I.
+func MegaGPT8B() Model { return config.MegaGPT8B() }
+
+// Strategies returns the nine baselines plus CAIS-Base and CAIS.
+func Strategies() []Strategy { return strategy.All() }
+
+// ExtensionStrategies returns strategies beyond the paper's evaluated set
+// (currently CAIS-TP, the compute-aware GEMM-AR lowering of Fig. 1h).
+func ExtensionStrategies() []Strategy { return strategy.Extensions() }
+
+// CAIS returns the full compute-aware in-switch computing strategy.
+func CAIS() Strategy { return strategy.CAIS() }
+
+// StrategyByName resolves a strategy case-insensitively (including the
+// CAIS-Partial and CAIS-w/o-Coord ablations).
+func StrategyByName(name string) (Strategy, error) { return strategy.ByName(name) }
+
+// SubLayers returns the paper's L1-L4 sub-layer pipelines for a model.
+func SubLayers(m Model) []SubLayer { return model.SubLayers(m) }
+
+// RunInference simulates `layers` transformer layers of prefill under the
+// strategy and returns the elapsed simulated time and statistics.
+func RunInference(hw Hardware, s Strategy, m Model, layers int) (Result, error) {
+	return strategy.RunLayers(hw, s, m, false, layers)
+}
+
+// RunTraining simulates `layers` layers of a training step (forward and
+// backward) under the strategy.
+func RunTraining(hw Hardware, s Strategy, m Model, layers int) (Result, error) {
+	return strategy.RunLayers(hw, s, m, true, layers)
+}
+
+// RunSubLayer simulates one sub-layer pipeline under the strategy.
+func RunSubLayer(hw Hardware, s Strategy, sub SubLayer, opts RunOptions) (Result, error) {
+	return strategy.RunSubLayer(hw, s, sub, opts)
+}
+
+// NewSession assembles a machine for custom kernel pipelines.
+func NewSession(hw Hardware, opts SessionOptions) (*Session, error) {
+	return core.NewSession(hw, opts)
+}
+
+// DefaultExperiments returns the full-fidelity experiment configuration.
+func DefaultExperiments() ExperimentConfig { return experiments.Default() }
+
+// QuickExperiments returns the reduced-fidelity experiment configuration.
+func QuickExperiments() ExperimentConfig { return experiments.Quick() }
+
+// ExperimentNames lists the reproducible tables and figures.
+func ExperimentNames() []string { return experiments.Names() }
+
+// RunExperiment regenerates one table or figure by ID and returns its
+// rendered output.
+func RunExperiment(id string, cfg ExperimentConfig) (string, error) {
+	return experiments.Run(id, cfg)
+}

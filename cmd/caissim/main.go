@@ -1,0 +1,136 @@
+// Command caissim regenerates the paper's tables and figures from the CAIS
+// simulation stack, or runs individual workloads under a chosen execution
+// strategy.
+//
+// Usage:
+//
+//	caissim -experiment fig11            # regenerate one figure/table
+//	caissim -experiment all              # regenerate everything
+//	caissim -experiment fig14 -quick     # reduced fidelity (fast)
+//	caissim -list                        # list experiment IDs
+//	caissim -strategy CAIS -model llama-7b -layers 1 -training
+//	caissim -strategies                  # list strategies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cais"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID (see -list), or 'all'")
+		quick      = flag.Bool("quick", false, "reduced fidelity (fast)")
+		list       = flag.Bool("list", false, "list experiment IDs")
+		strategies = flag.Bool("strategies", false, "list execution strategies")
+		strat      = flag.String("strategy", "", "run one workload under this strategy")
+		modelName  = flag.String("model", "llama-7b", "model: mega-gpt-4b | mega-gpt-8b | llama-7b")
+		layers     = flag.Int("layers", 1, "transformer layers to simulate")
+		training   = flag.Bool("training", false, "simulate training (fwd+bwd) instead of prefill")
+		gpus       = flag.Int("gpus", 0, "override the GPU count (default: 8)")
+		requestKB  = flag.Int("request-kb", 0, "override the request granularity in KB")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range cais.ExperimentNames() {
+			fmt.Println(n)
+		}
+	case *strategies:
+		for _, s := range cais.Strategies() {
+			nvls := ""
+			if s.UsesNVLS() {
+				nvls = " (in-switch computing)"
+			}
+			fmt.Printf("%-14s layout=%s%s\n", s.Name, s.Layout, nvls)
+		}
+		for _, s := range cais.ExtensionStrategies() {
+			fmt.Printf("%-14s layout=%s (extension beyond the paper)\n", s.Name, s.Layout)
+		}
+	case *strat != "":
+		runStrategy(*strat, *modelName, *layers, *training, *gpus, *requestKB)
+	case *experiment != "":
+		runExperiments(*experiment, *quick)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runExperiments(id string, quick bool) {
+	cfg := cais.DefaultExperiments()
+	if quick {
+		cfg = cais.QuickExperiments()
+	}
+	ids := []string{id}
+	if id == "all" {
+		ids = cais.ExperimentNames()
+	}
+	for _, x := range ids {
+		start := time.Now()
+		out, err := cais.RunExperiment(x, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", x, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %v]\n\n", x, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runStrategy(name, modelName string, layers int, training bool, gpus, requestKB int) {
+	spec, err := cais.StrategyByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var m cais.Model
+	switch strings.ToLower(modelName) {
+	case "mega-gpt-4b":
+		m = cais.MegaGPT4B()
+	case "mega-gpt-8b":
+		m = cais.MegaGPT8B()
+	case "llama-7b":
+		m = cais.LLaMA7B()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", modelName)
+		os.Exit(1)
+	}
+	hw := cais.DGXH100()
+	hw.RequestBytes = 32 << 10
+	if gpus > 0 {
+		hw.NumGPUs = gpus
+	}
+	if requestKB > 0 {
+		hw.RequestBytes = int64(requestKB) << 10
+	}
+	run := cais.RunInference
+	kind := "inference (prefill)"
+	if training {
+		run = cais.RunTraining
+		kind = "training step"
+	}
+	res, err := run(hw, spec, m, layers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	perLayer := res.Elapsed / cais.Time(layers)
+	full := perLayer * cais.Time(m.Layers)
+	fmt.Printf("%s on %s, %s\n", spec.Name, m.Name, kind)
+	fmt.Printf("  simulated %d layer(s): %v (%v per layer)\n", layers, res.Elapsed, perLayer)
+	fmt.Printf("  extrapolated full model (%d layers): %v\n", m.Layers, full)
+	fmt.Printf("  avg link utilization: %.1f%%\n", res.AvgUtil*100)
+	st := res.Stats
+	fmt.Printf("  merged loads: %d  merged reductions: %d  sync releases: %d\n",
+		st.MergedLoads, st.MergedReds, st.SyncReleases)
+	if st.SkewSamples() > 0 {
+		fmt.Printf("  avg request arrival skew: %v\n", st.AvgSkew())
+	}
+}

@@ -1,0 +1,3 @@
+module cais
+
+go 1.22

@@ -1,0 +1,88 @@
+// Package area estimates the silicon cost of the CAIS hardware extensions
+// at TSMC 12 nm (Section V-D of the paper): the per-port merge units added
+// to the NVSwitch datapath and the per-GPU TB-group synchronizer. The
+// estimator derives area from the same structural parameters the paper's
+// design fixes (table capacity, entry count, port count) using published
+// 12 nm density figures.
+package area
+
+// Process density constants for TSMC 12 nm (approximate published values).
+const (
+	// SRAMmm2PerMbit is high-density 6T SRAM macro area per Mbit.
+	SRAMmm2PerMbit = 0.16
+	// CAMmm2PerMbit is content-addressable memory area per Mbit (~4x SRAM).
+	CAMmm2PerMbit = 0.64
+	// Logicmm2PerKGate is synthesized-logic area per thousand NAND2
+	// equivalents, including routing overhead.
+	Logicmm2PerKGate = 0.0002
+)
+
+// Config describes the structures being costed.
+type Config struct {
+	// Switch side.
+	PortsPerSwitch  int   // GPU-facing ports (DGX-H100 NVSwitch: 8)
+	MergeTableBytes int64 // merging-table capacity per port (40 KB)
+	MergeEntries    int   // CAM entries per port (320)
+	TagBits         int   // CAM tag width (address + type)
+	MergeLogicKGate int   // adders + state machines per port
+
+	// GPU side.
+	SyncTableEntries int // active TB groups tracked per GPU
+	SyncEntryBits    int // group ID + counters + state
+	SyncLogicKGate   int // scheduler interface + credit logic
+
+	// Die areas for relative overhead (mm^2).
+	SwitchDie float64
+	GPUDie    float64
+}
+
+// Default returns the paper's configuration: 8 ports x 40 KB / 320
+// entries, an NVSwitch-class die and an H100-class die.
+func Default() Config {
+	return Config{
+		PortsPerSwitch:  8,
+		MergeTableBytes: 40 << 10,
+		MergeEntries:    320,
+		TagBits:         48,
+		MergeLogicKGate: 20,
+
+		SyncTableEntries: 64,
+		SyncEntryBits:    64,
+		SyncLogicKGate:   92,
+
+		SwitchDie: 100, // NVSwitch-class die, mm^2
+		GPUDie:    814, // H100 die, mm^2
+	}
+}
+
+// Result is an area estimate.
+type Result struct {
+	MM2      float64 // absolute area
+	PctOfDie float64 // relative to the host die
+}
+
+// SwitchOverhead estimates the total per-switch area of the CAIS merge
+// units (content SRAM + CAM lookup + merge logic across all ports).
+func SwitchOverhead(c Config) Result {
+	ports := float64(c.PortsPerSwitch)
+	sramMbit := float64(c.MergeTableBytes) * 8 / 1e6 * ports
+	camMbit := float64(c.MergeEntries) * float64(c.TagBits) / 1e6 * ports
+	logicKG := float64(c.MergeLogicKGate) * ports
+	mm2 := sramMbit*SRAMmm2PerMbit + camMbit*CAMmm2PerMbit + logicKG*Logicmm2PerKGate
+	return Result{MM2: mm2, PctOfDie: pct(mm2, c.SwitchDie)}
+}
+
+// GPUOverhead estimates the per-GPU synchronizer area (group table +
+// scheduler-interface logic).
+func GPUOverhead(c Config) Result {
+	tableMbit := float64(c.SyncTableEntries) * float64(c.SyncEntryBits) / 1e6
+	mm2 := tableMbit*SRAMmm2PerMbit + float64(c.SyncLogicKGate)*Logicmm2PerKGate
+	return Result{MM2: mm2, PctOfDie: pct(mm2, c.GPUDie)}
+}
+
+func pct(mm2, die float64) float64 {
+	if die <= 0 {
+		return 0
+	}
+	return mm2 / die * 100
+}

@@ -1,0 +1,49 @@
+package area
+
+import "testing"
+
+func TestSwitchOverheadMatchesPaper(t *testing.T) {
+	r := SwitchOverhead(Default())
+	// Paper: about 0.50 mm^2, less than 1% of the NVSwitch die.
+	if r.MM2 < 0.40 || r.MM2 > 0.60 {
+		t.Fatalf("switch overhead = %.3f mm^2, want ~0.50", r.MM2)
+	}
+	if r.PctOfDie >= 1.0 {
+		t.Fatalf("switch overhead %.2f%% of die, want < 1%%", r.PctOfDie)
+	}
+}
+
+func TestGPUOverheadMatchesPaper(t *testing.T) {
+	r := GPUOverhead(Default())
+	// Paper: about 0.019 mm^2, well under 0.01% of the H100 die... the
+	// paper says "less than 0.01%"; with an 814 mm^2 die 0.019 mm^2 is
+	// 0.0023%.
+	if r.MM2 < 0.015 || r.MM2 > 0.025 {
+		t.Fatalf("gpu overhead = %.4f mm^2, want ~0.019", r.MM2)
+	}
+	if r.PctOfDie >= 0.01 {
+		t.Fatalf("gpu overhead %.4f%% of die, want < 0.01%%", r.PctOfDie)
+	}
+}
+
+func TestOverheadScalesWithStructures(t *testing.T) {
+	c := Default()
+	base := SwitchOverhead(c).MM2
+	c.MergeTableBytes *= 2
+	if SwitchOverhead(c).MM2 <= base {
+		t.Fatal("doubling the table must increase area")
+	}
+	c = Default()
+	c.PortsPerSwitch *= 2
+	if got := SwitchOverhead(c).MM2; got <= base || got > 2.2*base {
+		t.Fatalf("doubling ports: %.3f vs base %.3f, want ~2x", got, base)
+	}
+}
+
+func TestPctGuards(t *testing.T) {
+	c := Default()
+	c.SwitchDie = 0
+	if SwitchOverhead(c).PctOfDie != 0 {
+		t.Fatal("zero die should yield zero percentage")
+	}
+}

@@ -1,0 +1,111 @@
+// Package compiler implements the CAIS compiler support of Section III-B:
+// static index analysis of memory-access address expressions (detecting
+// GPU-ID invariance), TB-group formation, and the lowering decision that
+// rewrites eligible instructions to their compute-aware CAIS variants
+// (ld.cais / red.cais) while leaving GPU-dependent accesses untouched.
+package compiler
+
+import (
+	"fmt"
+
+	"cais/internal/kernel"
+	"cais/internal/noc"
+)
+
+// Verdict is the analysis result for one access pattern.
+type Verdict struct {
+	Pattern   kernel.Pattern
+	Mergeable bool   // address expression is GPU-invariant
+	Mode      noc.Op // CAIS lowering when mergeable; plain op otherwise
+	Reason    string // human-readable justification
+}
+
+// Analyze performs the static index analysis on one pattern: an access is
+// mergeable iff its address expression does not reference the GPU ID —
+// then TBs with equal blockIdx on different GPUs touch the same location
+// (Fig. 8a). Plain writes are never rewritten: CAIS extends only loads and
+// reductions (Fig. 4).
+func Analyze(p kernel.Pattern) Verdict {
+	v := Verdict{Pattern: p}
+	if kernel.UsesParam(p.Addr, kernel.ParamGPU) {
+		v.Mergeable = false
+		v.Mode = plainMode(p.Sem)
+		v.Reason = fmt.Sprintf("address %s references gpuID: GPU-variant, not mergeable", p.Addr)
+		return v
+	}
+	switch p.Sem {
+	case kernel.SemRead:
+		v.Mergeable = true
+		v.Mode = noc.OpLdCAIS
+		v.Reason = fmt.Sprintf("address %s is GPU-invariant: rewritten to ld.cais", p.Addr)
+	case kernel.SemReduce:
+		v.Mergeable = true
+		v.Mode = noc.OpRedCAIS
+		v.Reason = fmt.Sprintf("address %s is GPU-invariant: rewritten to red.cais", p.Addr)
+	default:
+		v.Mergeable = false
+		v.Mode = plainMode(p.Sem)
+		v.Reason = "plain writes have no CAIS variant"
+	}
+	return v
+}
+
+func plainMode(s kernel.Semantic) noc.Op {
+	switch s {
+	case kernel.SemRead:
+		return noc.OpLoad
+	case kernel.SemReduce, kernel.SemWrite:
+		return noc.OpStore
+	}
+	panic(fmt.Sprintf("compiler: unknown semantic %v", s))
+}
+
+// AnalyzeKernel analyzes every pattern of a kernel.
+func AnalyzeKernel(k *kernel.Kernel) []Verdict {
+	out := make([]Verdict, 0, len(k.Patterns))
+	for _, p := range k.Patterns {
+		out = append(out, Analyze(p))
+	}
+	return out
+}
+
+// AllMergeable reports whether every pattern of the kernel passed the
+// analysis (the precondition for full CAIS lowering of the kernel).
+func AllMergeable(verdicts []Verdict) bool {
+	for _, v := range verdicts {
+		if !v.Mergeable {
+			return false
+		}
+	}
+	return len(verdicts) > 0
+}
+
+// GroupPlan is the TB-group metadata attached to a kernel launch: TBs
+// across GPUs with the same blockIdx form one logical group (Sec. III-B-1)
+// so the runtime and switch can align their request timing.
+type GroupPlan struct {
+	Grid    int // TBs per GPU
+	Members int // GPUs participating per group
+	Base    int // globally-unique group ID base (assigned at launch)
+}
+
+// BuildGroups creates the TB-group plan for a kernel launched on numGPUs
+// GPUs: one group per blockIdx, each containing one TB per GPU.
+func BuildGroups(grid, numGPUs int) GroupPlan {
+	if grid < 1 || numGPUs < 1 {
+		panic(fmt.Sprintf("compiler: invalid group plan grid=%d gpus=%d", grid, numGPUs))
+	}
+	return GroupPlan{Grid: grid, Members: numGPUs}
+}
+
+// GroupOf returns the global group ID of a thread block, identical on
+// every GPU (that identity is what makes the group's requests mergeable).
+func (g GroupPlan) GroupOf(tb int) int {
+	if tb < 0 || tb >= g.Grid {
+		panic(fmt.Sprintf("compiler: tb %d out of grid %d", tb, g.Grid))
+	}
+	return g.Base + tb
+}
+
+// NumGroups reports how many groups the plan defines.
+func (g GroupPlan) NumGroups() int { return g.Grid }

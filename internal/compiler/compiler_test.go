@@ -1,0 +1,144 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"cais/internal/kernel"
+	"cais/internal/noc"
+)
+
+func invariantRead() kernel.Pattern {
+	// The AG-GEMM input load of Fig. 8a: addr = blockIdx*tile (no gpuID).
+	return kernel.Pattern{
+		Name: "ld.X", Sem: kernel.SemRead,
+		Addr: kernel.Mul(kernel.ParamBlock, kernel.Const(128)),
+		Home: kernel.Mod(kernel.ParamBlock, kernel.Const(8)),
+	}
+}
+
+func TestAnalyzeRewritesGPUInvariantLoad(t *testing.T) {
+	v := Analyze(invariantRead())
+	if !v.Mergeable {
+		t.Fatalf("GPU-invariant load not mergeable: %s", v.Reason)
+	}
+	if v.Mode != noc.OpLdCAIS {
+		t.Fatalf("mode = %v, want ld.cais", v.Mode)
+	}
+	if !strings.Contains(v.Reason, "ld.cais") {
+		t.Fatalf("reason lacks rewrite detail: %s", v.Reason)
+	}
+}
+
+func TestAnalyzeRewritesGPUInvariantReduction(t *testing.T) {
+	p := invariantRead()
+	p.Sem = kernel.SemReduce
+	v := Analyze(p)
+	if !v.Mergeable || v.Mode != noc.OpRedCAIS {
+		t.Fatalf("reduction verdict = %+v", v)
+	}
+}
+
+func TestAnalyzeRejectsGPUVariantAccess(t *testing.T) {
+	p := kernel.Pattern{
+		Name: "ld.local", Sem: kernel.SemRead,
+		// addr = gpuID*shard + blockIdx*tile: each GPU touches its own
+		// shard, so merging would be incorrect.
+		Addr: kernel.Add(
+			kernel.Mul(kernel.ParamGPU, kernel.Const(1<<20)),
+			kernel.Mul(kernel.ParamBlock, kernel.Const(128))),
+		Home: kernel.ParamGPU,
+	}
+	v := Analyze(p)
+	if v.Mergeable {
+		t.Fatal("GPU-variant access marked mergeable")
+	}
+	if v.Mode != noc.OpLoad {
+		t.Fatalf("mode = %v, want plain ld", v.Mode)
+	}
+	if !strings.Contains(v.Reason, "gpuID") {
+		t.Fatalf("reason should cite gpuID: %s", v.Reason)
+	}
+}
+
+func TestAnalyzePlainWriteNeverRewritten(t *testing.T) {
+	p := invariantRead()
+	p.Sem = kernel.SemWrite
+	v := Analyze(p)
+	if v.Mergeable {
+		t.Fatal("plain write marked mergeable: CAIS only extends ld/red")
+	}
+	if v.Mode != noc.OpStore {
+		t.Fatalf("mode = %v, want st", v.Mode)
+	}
+}
+
+func TestAnalyzeKernelAndAllMergeable(t *testing.T) {
+	red := invariantRead()
+	red.Sem = kernel.SemReduce
+	k := &kernel.Kernel{
+		Name: "fused", Grid: 8,
+		Work:     func(g, tb int) kernel.TBDesc { return kernel.TBDesc{} },
+		Patterns: []kernel.Pattern{invariantRead(), red},
+	}
+	vs := AnalyzeKernel(k)
+	if len(vs) != 2 {
+		t.Fatalf("verdicts = %d, want 2", len(vs))
+	}
+	if !AllMergeable(vs) {
+		t.Fatal("fully-invariant kernel should be all-mergeable")
+	}
+	variant := invariantRead()
+	variant.Addr = kernel.ParamGPU
+	k.Patterns = append(k.Patterns, variant)
+	if AllMergeable(AnalyzeKernel(k)) {
+		t.Fatal("kernel with a variant pattern must not be all-mergeable")
+	}
+	if AllMergeable(nil) {
+		t.Fatal("empty verdict list must not be all-mergeable")
+	}
+}
+
+func TestGroupPlanOneGroupPerBlockIdx(t *testing.T) {
+	g := BuildGroups(100, 8)
+	g.Base = 1000
+	if g.NumGroups() != 100 {
+		t.Fatalf("groups = %d, want 100", g.NumGroups())
+	}
+	if g.Members != 8 {
+		t.Fatalf("members = %d, want 8", g.Members)
+	}
+	if g.GroupOf(0) != 1000 || g.GroupOf(99) != 1099 {
+		t.Fatal("group IDs not contiguous from base")
+	}
+	// Identical mapping regardless of which GPU asks — that identity is
+	// the merging precondition.
+	seen := map[int]bool{}
+	for tb := 0; tb < 100; tb++ {
+		id := g.GroupOf(tb)
+		if seen[id] {
+			t.Fatalf("duplicate group id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGroupPlanBounds(t *testing.T) {
+	g := BuildGroups(10, 4)
+	for _, tb := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GroupOf(%d) did not panic", tb)
+				}
+			}()
+			g.GroupOf(tb)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BuildGroups(0, 0) did not panic")
+		}
+	}()
+	BuildGroups(0, 0)
+}

@@ -1,0 +1,114 @@
+// Package core is the compositional entry point of the CAIS engine: a
+// Session assembles a simulated multi-GPU system and executes custom
+// kernel pipelines built with the model package's builders. The paper's
+// canonical workloads go through the higher-level strategy and experiments
+// packages; Session is for bespoke studies (custom collectives, synthetic
+// kernels, new fusion shapes).
+package core
+
+import (
+	"fmt"
+
+	"cais/internal/config"
+	"cais/internal/kernel"
+	"cais/internal/machine"
+	"cais/internal/model"
+	"cais/internal/nvswitch"
+	"cais/internal/sim"
+)
+
+// Session is one assembled system plus a staged execution plan.
+type Session struct {
+	machine *machine.Machine
+	builder *model.Builder
+	stages  [][]*kernel.Kernel
+	ran     bool
+	elapsed sim.Time
+	drained sim.Time
+}
+
+// NewSession assembles a machine for the hardware configuration.
+func NewSession(hw config.Hardware, opts machine.Options) (*Session, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	eng.SetStepLimit(2_000_000_000)
+	m := machine.New(eng, hw, opts)
+	return &Session{machine: m, builder: model.NewBuilder(m)}, nil
+}
+
+// Builder exposes the kernel builders bound to this session's machine.
+func (s *Session) Builder() *model.Builder { return s.builder }
+
+// Machine exposes the underlying machine (links, switches, tile tracker).
+func (s *Session) Machine() *machine.Machine { return s.machine }
+
+// Stage appends a new barrier-delimited stage: its kernels launch together
+// once every kernel of the previous stage has completed on all GPUs.
+func (s *Session) Stage(ks ...*kernel.Kernel) {
+	s.stages = append(s.stages, ks)
+}
+
+// Concurrent appends kernels to the current stage (creating one if none
+// exists), so they co-run with the stage's other kernels.
+func (s *Session) Concurrent(ks ...*kernel.Kernel) {
+	if len(s.stages) == 0 {
+		s.stages = append(s.stages, nil)
+	}
+	last := len(s.stages) - 1
+	s.stages[last] = append(s.stages[last], ks...)
+}
+
+// PublishTiles seeds input tiles before the run.
+func (s *Session) PublishTiles(tiles []kernel.Tile) {
+	s.machine.PublishTiles(tiles)
+}
+
+// Run executes the staged plan to completion and returns the simulated
+// time at which the final stage finished.
+func (s *Session) Run() (sim.Time, error) {
+	if s.ran {
+		return 0, fmt.Errorf("core: session already ran")
+	}
+	s.ran = true
+	completed := false
+	var doneAt sim.Time
+	s.machine.Eng.At(0, func() {
+		var step func(i int)
+		step = func(i int) {
+			if i >= len(s.stages) {
+				completed = true
+				doneAt = s.machine.Eng.Now()
+				return
+			}
+			s.machine.LaunchAll(s.stages[i], func() { step(i + 1) })
+		}
+		step(0)
+	})
+	s.drained = s.machine.Run()
+	if !completed {
+		if err := s.machine.CheckQuiescent(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("core: plan did not complete")
+	}
+	s.elapsed = doneAt
+	return doneAt, nil
+}
+
+// Elapsed reports the completion time of the last Run's staged plan
+// (thread-block retirement; posted writes may still be in flight).
+func (s *Session) Elapsed() sim.Time { return s.elapsed }
+
+// DrainedAt reports when the event queue fully drained — all posted data
+// delivered and committed. Collective microbenchmarks should use this.
+func (s *Session) DrainedAt() sim.Time { return s.drained }
+
+// SwitchStats folds the per-plane switch statistics.
+func (s *Session) SwitchStats() nvswitch.Stats { return s.machine.SwitchStats() }
+
+// AvgLinkUtilization reports the mean link busy fraction over the run.
+func (s *Session) AvgLinkUtilization() float64 {
+	return s.machine.AvgLinkUtilization(s.elapsed)
+}

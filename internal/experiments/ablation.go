@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cais/internal/metrics"
+	"cais/internal/model"
+	"cais/internal/nvswitch"
+	"cais/internal/sim"
+	"cais/internal/strategy"
+)
+
+// Ablation benches for the design choices DESIGN.md calls out. These go
+// beyond the paper's figures: they quantify the two mechanisms the
+// reproduction's merge unit depends on (the victim-selection policy and
+// the dedicated control/request channel).
+
+// AblationRow is one design-variant measurement.
+type AblationRow struct {
+	Variant string
+	Elapsed sim.Time
+	// SlowdownPct relative to the first (reference) variant.
+	SlowdownPct float64
+	// Flushes counts partial reduction flushes (merge-quality proxy).
+	Flushes int64
+	SkewUS  float64
+}
+
+// AblationResult is one design-choice sweep.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// AblationEviction compares the merge unit's victim policies (the paper
+// fixes LRU, Sec. III-A-4). Measured on the uncoordinated variant, where
+// staggered arrivals keep many sessions live and the victim choice
+// actually matters; under full coordination sessions are so short-lived
+// that the policies coincide.
+func AblationEviction(c Config) (*AblationResult, error) {
+	out := &AblationResult{Title: "merge-unit eviction policy (CAIS-w/o-Coord, LLaMA-7B L2, 40 KB/port)"}
+	sub := model.SubLayers(c.primaryModel())[1]
+	hw := c.microHW()
+	for _, pol := range []nvswitch.EvictionPolicy{nvswitch.EvictLRU, nvswitch.EvictFIFO, nvswitch.EvictMRU} {
+		res, err := strategy.RunSubLayer(hw, strategy.CAISNoCoord(), sub, strategy.Options{Eviction: pol})
+		if err != nil {
+			return nil, fmt.Errorf("ablation eviction %v: %w", pol, err)
+		}
+		out.add(pol.String(), res)
+	}
+	return out, nil
+}
+
+// AblationSideband compares the dedicated control/request channel against
+// control packets sharing the data queues — the head-of-line-blocking
+// failure mode that breaks synchronization alignment.
+func AblationSideband(c Config) (*AblationResult, error) {
+	out := &AblationResult{Title: "control/request sideband (CAIS, LLaMA-7B L2)"}
+	sub := model.SubLayers(c.primaryModel())[1]
+	hw := c.microHW()
+	for _, v := range []struct {
+		name string
+		off  bool
+	}{{"sideband on (default)", false}, {"sideband off", true}} {
+		res, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, strategy.Options{NoControlSideband: v.off})
+		if err != nil {
+			return nil, fmt.Errorf("ablation sideband %s: %w", v.name, err)
+		}
+		out.add(v.name, res)
+	}
+	return out, nil
+}
+
+// AblationGranularity sweeps the simulation's request granularity to show
+// the reported shapes are not an artifact of one chunk size.
+func AblationGranularity(c Config) (*AblationResult, error) {
+	out := &AblationResult{Title: "request granularity sensitivity (CAIS speedup over TP-NVLS, LLaMA-7B L2)"}
+	sub := model.SubLayers(c.primaryModel())[1]
+	sizes := []int64{8 << 10, 16 << 10, 32 << 10}
+	if c.Quick {
+		sizes = sizes[1:]
+	}
+	for _, rb := range sizes {
+		hw := c.HW
+		hw.RequestBytes = rb
+		caisRes, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, strategy.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("ablation granularity %d: %w", rb, err)
+		}
+		tp, err := strategy.RunSubLayer(hw, strategy.TPNVLS(), sub, strategy.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("ablation granularity %d: %w", rb, err)
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Variant:     fmt.Sprintf("%d KB requests", rb>>10),
+			Elapsed:     caisRes.Elapsed,
+			SlowdownPct: (caisRes.Speedup(tp) - 1) * 100, // speedup margin, in %
+			Flushes:     caisRes.Stats.PartialFlushes,
+			SkewUS:      caisRes.Stats.AvgSkew().Microseconds(),
+		})
+	}
+	return out, nil
+}
+
+func (r *AblationResult) add(name string, res strategy.Result) {
+	row := AblationRow{
+		Variant: name, Elapsed: res.Elapsed,
+		Flushes: res.Stats.PartialFlushes,
+		SkewUS:  res.Stats.AvgSkew().Microseconds(),
+	}
+	if len(r.Rows) > 0 {
+		ref := r.Rows[0].Elapsed
+		row.SlowdownPct = (float64(res.Elapsed)/float64(ref) - 1) * 100
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Render formats an ablation table.
+func (r *AblationResult) Render() string {
+	t := metrics.NewTable("Ablation: "+r.Title,
+		"Variant", "elapsed", "delta %", "partial flushes", "skew (us)")
+	for _, row := range r.Rows {
+		t.Addf(row.Variant, row.Elapsed, row.SlowdownPct, row.Flushes, row.SkewUS)
+	}
+	return t.String()
+}

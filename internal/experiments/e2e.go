@@ -1,0 +1,423 @@
+package experiments
+
+import (
+	"cais/internal/config"
+	"cais/internal/metrics"
+	"cais/internal/model"
+	"cais/internal/sim"
+	"cais/internal/strategy"
+	"fmt"
+)
+
+// Table1 renders the Table I model settings.
+func Table1() string {
+	t := metrics.NewTable("Table I: LLM settings used in evaluation",
+		"Name", "Hidden", "FFN Hidden", "Heads", "SeqLen", "Batch", "Layers")
+	for _, m := range config.TableIModels() {
+		t.Addf(m.Name, m.Hidden, m.FFNHidden, m.Heads, m.SeqLen, m.Batch, m.Layers)
+	}
+	return t.String()
+}
+
+// Fig2Row is one GPU-count point of the compute-vs-communication scaling
+// study.
+type Fig2Row struct {
+	GPUs      int
+	ComputeMS float64 // per-layer computation time
+	CommMS    float64 // per-layer communication time
+	Ratio     float64 // comm / compute
+}
+
+// Fig2Result is the Fig. 2 sweep.
+type Fig2Result struct{ Rows []Fig2Row }
+
+// Fig2 reproduces Fig. 2: computation and communication time per layer for
+// LLaMA-7B under SP-NVLS while scaling the GPU count. The paper observes
+// communication overtaking computation between 4 and 8 GPUs (~1.6x at 8).
+//
+// Decomposition: posted writes make kernel spans a poor attribution (data
+// movement bleeds into the consumer's span), so computation time is
+// measured on an ideal fabric (near-infinite bandwidth, zero latency) and
+// communication is the exposed remainder on the real fabric.
+func Fig2(c Config) (*Fig2Result, error) {
+	out := &Fig2Result{}
+	counts := []int{1, 2, 4, 8, 16}
+	if c.Quick {
+		counts = []int{2, 8}
+	}
+	cfg := c.primaryModel()
+	for _, p := range counts {
+		hw := c.e2eHW()
+		hw.NumGPUs = p
+		real, err := strategy.RunLayers(hw, strategy.SPNVLS(), cfg, false, c.layers())
+		if err != nil {
+			return nil, fmt.Errorf("fig2 p=%d: %w", p, err)
+		}
+		ideal := hw
+		ideal.LinkBandwidth *= 1e4
+		ideal.LinkEfficiency = 1
+		ideal.LinkLatency = 0
+		ideal.SwitchLatency = 0
+		perfect, err := strategy.RunLayers(ideal, strategy.SPNVLS(), cfg, false, c.layers())
+		if err != nil {
+			return nil, fmt.Errorf("fig2 ideal p=%d: %w", p, err)
+		}
+		compute := perfect.Elapsed
+		comm := real.Elapsed - perfect.Elapsed
+		if comm < 0 {
+			comm = 0
+		}
+		row := Fig2Row{GPUs: p, ComputeMS: ms(compute) / float64(c.layers()), CommMS: ms(comm) / float64(c.layers())}
+		if row.ComputeMS > 0 {
+			row.Ratio = row.CommMS / row.ComputeMS
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 2 table.
+func (r *Fig2Result) Render() string {
+	t := metrics.NewTable("Fig. 2: computation vs communication per layer (LLaMA-7B, SP-NVLS)",
+		"GPUs", "compute (ms)", "comm (ms)", "comm/compute")
+	for _, row := range r.Rows {
+		t.Addf(row.GPUs, row.ComputeMS, row.CommMS, row.Ratio)
+	}
+	return t.String()
+}
+
+// SpeedupRow is one (model, workload) row of speedups of CAIS over every
+// baseline.
+type SpeedupRow struct {
+	Model    string
+	Workload string // "inference" or "training"
+	// Elapsed per strategy (simulated per-layer chain time).
+	Elapsed map[string]sim.Time
+	// Speedup of CAIS over each strategy.
+	Speedup map[string]float64
+}
+
+// Fig11Result is the end-to-end speedup study.
+type Fig11Result struct {
+	Rows       []SpeedupRow
+	Strategies []string
+	// Geomean of CAIS speedup over each baseline across rows.
+	Geomean map[string]float64
+}
+
+// Fig11 reproduces Fig. 11: end-to-end speedup of CAIS over the nine
+// baselines plus CAIS-Base, for training and inference (prefill) on the
+// Table I models.
+func Fig11(c Config) (*Fig11Result, error) {
+	workloads := []struct {
+		name     string
+		training bool
+	}{{"inference", false}, {"training", true}}
+	if c.Quick {
+		workloads = workloads[:1]
+	}
+	return speedupStudy(c, func(spec strategy.Spec, cfg config.Model, training bool) (strategy.Result, error) {
+		return strategy.RunLayers(c.e2eHW(), spec, cfg, training, c.layers())
+	}, workloads)
+}
+
+func speedupStudy(c Config,
+	run func(spec strategy.Spec, cfg config.Model, training bool) (strategy.Result, error),
+	workloads []struct {
+		name     string
+		training bool
+	}) (*Fig11Result, error) {
+
+	specs := strategy.All()
+	out := &Fig11Result{Geomean: map[string]float64{}}
+	for _, s := range specs {
+		out.Strategies = append(out.Strategies, s.Name)
+	}
+	samples := map[string][]float64{}
+	for _, cfg := range c.models() {
+		for _, w := range workloads {
+			row := SpeedupRow{
+				Model: cfg.Name, Workload: w.name,
+				Elapsed: map[string]sim.Time{},
+				Speedup: map[string]float64{},
+			}
+			for _, spec := range specs {
+				res, err := run(spec, cfg, w.training)
+				if err != nil {
+					return nil, fmt.Errorf("fig11 %s/%s/%s: %w", cfg.Name, w.name, spec.Name, err)
+				}
+				row.Elapsed[spec.Name] = res.Elapsed
+			}
+			cais := row.Elapsed["CAIS"]
+			for name, e := range row.Elapsed {
+				if name == "CAIS" || cais == 0 {
+					continue
+				}
+				sp := float64(e) / float64(cais)
+				row.Speedup[name] = sp
+				samples[name] = append(samples[name], sp)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	for name, xs := range samples {
+		out.Geomean[name] = metrics.Geomean(xs)
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 11 table.
+func (r *Fig11Result) Render() string {
+	headers := append([]string{"Model", "Workload"}, r.Strategies...)
+	t := metrics.NewTable("Fig. 11: CAIS speedup over baselines (end-to-end per-layer chain)", headers...)
+	for _, row := range r.Rows {
+		cells := []string{row.Model, row.Workload}
+		for _, s := range r.Strategies {
+			if s == "CAIS" {
+				cells = append(cells, row.Elapsed[s].String())
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.2fx", row.Speedup[s]))
+		}
+		t.AddRow(cells...)
+	}
+	geo := []string{"geomean", ""}
+	for _, s := range r.Strategies {
+		if s == "CAIS" {
+			geo = append(geo, "1.00x")
+			continue
+		}
+		geo = append(geo, fmt.Sprintf("%.2fx", r.Geomean[s]))
+	}
+	t.AddRow(geo...)
+	return t.String()
+}
+
+// Fig12Result is the sub-layer speedup study (L1-L4).
+type Fig12Result struct {
+	Rows       []SpeedupRow // Workload carries the sub-layer ID
+	Strategies []string
+	Geomean    map[string]float64
+}
+
+// Fig12 reproduces Fig. 12: speedups on the four communication-intensive
+// sub-layers (GEMM-RS + LN + AG-GEMM pipelines).
+func Fig12(c Config) (*Fig12Result, error) {
+	specs := strategy.All()
+	out := &Fig12Result{Geomean: map[string]float64{}}
+	for _, s := range specs {
+		out.Strategies = append(out.Strategies, s.Name)
+	}
+	samples := map[string][]float64{}
+	hw := c.microHW()
+	for _, cfg := range c.models() {
+		subs := model.SubLayers(cfg)
+		if c.Quick {
+			subs = subs[:2]
+		}
+		for _, sub := range subs {
+			row := SpeedupRow{
+				Model: cfg.Name, Workload: sub.ID,
+				Elapsed: map[string]sim.Time{},
+				Speedup: map[string]float64{},
+			}
+			for _, spec := range specs {
+				res, err := strategy.RunSubLayer(hw, spec, sub, strategy.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("fig12 %s/%s/%s: %w", cfg.Name, sub.ID, spec.Name, err)
+				}
+				row.Elapsed[spec.Name] = res.Elapsed
+			}
+			cais := row.Elapsed["CAIS"]
+			for name, e := range row.Elapsed {
+				if name == "CAIS" || cais == 0 {
+					continue
+				}
+				sp := float64(e) / float64(cais)
+				row.Speedup[name] = sp
+				samples[name] = append(samples[name], sp)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	for name, xs := range samples {
+		out.Geomean[name] = metrics.Geomean(xs)
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 12 table.
+func (r *Fig12Result) Render() string {
+	headers := append([]string{"Model", "Sub-layer"}, r.Strategies...)
+	t := metrics.NewTable("Fig. 12: CAIS speedup on sub-layers L1-L4", headers...)
+	for _, row := range r.Rows {
+		cells := []string{row.Model, row.Workload}
+		for _, s := range r.Strategies {
+			if s == "CAIS" {
+				cells = append(cells, row.Elapsed[s].String())
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.2fx", row.Speedup[s]))
+		}
+		t.AddRow(cells...)
+	}
+	geo := []string{"geomean", ""}
+	for _, s := range r.Strategies {
+		if s == "CAIS" {
+			geo = append(geo, "1.00x")
+			continue
+		}
+		geo = append(geo, fmt.Sprintf("%.2fx", r.Geomean[s]))
+	}
+	t.AddRow(geo...)
+	return t.String()
+}
+
+// Fig17Row is one GPU-count point of the scalability study.
+type Fig17Row struct {
+	GPUs int
+	// Per-GPU throughput normalized to 8-GPU CAIS.
+	CAIS        float64
+	CoCoNetNVLS float64
+}
+
+// Fig17Result is the scalability study.
+type Fig17Result struct{ Rows []Fig17Row }
+
+// Fig17 reproduces Fig. 17: per-GPU computation throughput of CAIS and
+// CoCoNet-NVLS for 8..32 GPUs, with the hidden dimension scaled
+// proportionally to the GPU count; normalized to 8-GPU CAIS. The paper
+// reports a <5% drop at 32 GPUs.
+func Fig17(c Config) (*Fig17Result, error) {
+	counts := []int{8, 16, 24, 32}
+	if c.Quick {
+		counts = []int{4, 8}
+	}
+	base := counts[0]
+	cfg0 := c.primaryModel()
+	type point struct{ cais, coco float64 }
+	points := map[int]point{}
+	for _, p := range counts {
+		// Fine request granularity: at coarse chunks the merge table
+		// quantizes to one session per port and thrashes at high GPU
+		// counts, which is a simulation artifact, not a CAIS property.
+		hw := c.microHW()
+		hw.NumGPUs = p
+		scale := float64(p) / float64(base)
+		cfg := cfg0.Scale(scale)
+		cfg.Layers = cfg0.Layers
+		var pt point
+		for _, spec := range []strategy.Spec{strategy.CAIS(), strategy.CoCoNetNVLS()} {
+			res, err := strategy.RunLayers(hw, spec, cfg, false, 1)
+			if err != nil {
+				return nil, fmt.Errorf("fig17 p=%d %s: %w", p, spec.Name, err)
+			}
+			flopsPerGPU := layerFlopsPerGPU(cfg, p)
+			tput := flopsPerGPU / res.Elapsed.Seconds()
+			if spec.Name == "CAIS" {
+				pt.cais = tput
+			} else {
+				pt.coco = tput
+			}
+		}
+		points[p] = pt
+	}
+	norm := points[base].cais
+	out := &Fig17Result{}
+	for _, p := range counts {
+		out.Rows = append(out.Rows, Fig17Row{
+			GPUs:        p,
+			CAIS:        points[p].cais / norm,
+			CoCoNetNVLS: points[p].coco / norm,
+		})
+	}
+	return out, nil
+}
+
+// layerFlopsPerGPU approximates one transformer layer's GEMM+attention
+// FLOPs per GPU under TP degree p.
+func layerFlopsPerGPU(m config.Model, p int) float64 {
+	tokens := float64(m.Tokens())
+	h := float64(m.Hidden)
+	f := float64(m.FFNHidden)
+	attn := 4 * tokens * float64(m.SeqLen) * float64(m.HeadDim()) * float64(m.Heads)
+	gemms := 2*tokens*3*h*h + 2*tokens*h*h + 2*tokens*f*h + 2*tokens*h*f
+	return (gemms + attn) / float64(p)
+}
+
+// Render formats the Fig. 17 table.
+func (r *Fig17Result) Render() string {
+	t := metrics.NewTable("Fig. 17: per-GPU throughput vs GPU count (normalized to first CAIS point)",
+		"GPUs", "CAIS", "CoCoNet-NVLS")
+	for _, row := range r.Rows {
+		t.Addf(row.GPUs, row.CAIS, row.CoCoNetNVLS)
+	}
+	return t.String()
+}
+
+// Table2Row is one scaled-down-validation configuration.
+type Table2Row struct {
+	Setup   string
+	Hidden  int
+	FFN     int
+	Heads   int
+	SMs     int
+	Speedup float64 // CAIS over TP-NVLS
+}
+
+// Table2Result is the scaled-down validation.
+type Table2Result struct{ Rows []Table2Row }
+
+// Table2 reproduces Table II: the CAIS-over-TP-NVLS speedup under the
+// full-scale configuration (132 SMs, full matrix dims) and the half-scale
+// one (66 SMs, halved dims); the paper reports 1.43 vs 1.40.
+func Table2(c Config) (*Table2Result, error) {
+	full := config.Model{Name: "Full", Hidden: 8192, FFNHidden: 22528, Heads: 64,
+		SeqLen: c.primaryModel().SeqLen, Batch: c.primaryModel().Batch, Layers: 1}
+	half := config.Model{Name: "Half", Hidden: 4096, FFNHidden: 11264, Heads: 32,
+		SeqLen: full.SeqLen, Batch: full.Batch, Layers: 1}
+	if c.Quick {
+		// Quick mode shifts both setups one halving down so the pair
+		// stays realistically sized but cheap.
+		full = half
+		full.Name = "Full"
+		half = config.Model{Name: "Half", Hidden: 2048, FFNHidden: 5632, Heads: 16,
+			SeqLen: full.SeqLen, Batch: full.Batch, Layers: 1}
+	}
+	out := &Table2Result{}
+	fullSMs, halfSMs := 2*c.HW.SMsPerGPU, c.HW.SMsPerGPU
+	if c.Quick {
+		fullSMs, halfSMs = c.HW.SMsPerGPU, c.HW.SMsPerGPU/2
+	}
+	for _, setup := range []struct {
+		cfg config.Model
+		sms int
+	}{{full, fullSMs}, {half, halfSMs}} {
+		hw := c.e2eHW()
+		hw.SMsPerGPU = setup.sms
+		cais, err := strategy.RunLayers(hw, strategy.CAIS(), setup.cfg, false, 1)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
+		}
+		tp, err := strategy.RunLayers(hw, strategy.TPNVLS(), setup.cfg, false, 1)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
+		}
+		out.Rows = append(out.Rows, Table2Row{
+			Setup: setup.cfg.Name, Hidden: setup.cfg.Hidden, FFN: setup.cfg.FFNHidden,
+			Heads: setup.cfg.Heads, SMs: setup.sms,
+			Speedup: cais.Speedup(tp),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the Table II table.
+func (r *Table2Result) Render() string {
+	t := metrics.NewTable("Table II: scaled-down validation (CAIS speedup over TP-NVLS)",
+		"Setup", "Hidden", "FFN Hidden", "Heads", "#SM", "Speedup")
+	for _, row := range r.Rows {
+		t.Addf(row.Setup, row.Hidden, row.FFN, row.Heads, row.SMs, fmt.Sprintf("%.2f", row.Speedup))
+	}
+	return t.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Render coverage: every result type must produce a titled, populated
+// table (quick fidelity).
+func TestAllRendersPopulated(t *testing.T) {
+	c := Quick()
+	cases := []struct {
+		name string
+		run  func() (string, error)
+		want []string
+	}{
+		{"fig2", func() (string, error) { r, e := Fig2(c); return render(r, e) },
+			[]string{"Fig. 2", "GPUs", "comm/compute"}},
+		{"fig10", func() (string, error) { r, e := Fig10(c); return render(r, e) },
+			[]string{"Fig. 10", "G2S", "S2G", "CAIS"}},
+		{"fig13a", func() (string, error) { r, e := Fig13a(c); return render(r, e) },
+			[]string{"Fig. 13a", "reduction"}},
+		{"fig13b", func() (string, error) { r, e := Fig13b(c); return render(r, e) },
+			[]string{"Fig. 13b", "throttling"}},
+		{"fig14", func() (string, error) { r, e := Fig14(c); return render(r, e) },
+			[]string{"Fig. 14", "Table (KB)"}},
+		{"fig16", func() (string, error) { r, e := Fig16(c); return render(r, e) },
+			[]string{"Fig. 16", "CAIS-Base", "%"}},
+		{"fig18", func() (string, error) { r, e := Fig18(c); return render(r, e) },
+			[]string{"Fig. 18", "avg", "algbw"}},
+		{"table2", func() (string, error) { r, e := Table2(c); return render(r, e) },
+			[]string{"Table II", "Full", "Half"}},
+		{"ablation-eviction", func() (string, error) { r, e := AblationEviction(c); return render(r, e) },
+			[]string{"eviction", "lru", "mru"}},
+		{"ablation-granularity", func() (string, error) { r, e := AblationGranularity(c); return render(r, e) },
+			[]string{"granularity", "KB requests"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("%s render missing %q:\n%s", tc.name, w, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFig17RenderAndFig15Render(t *testing.T) {
+	c := Quick()
+	r15, err := Fig15(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r15.Render(), "average") {
+		t.Error("fig15 render missing average row")
+	}
+	r17, err := Fig17(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r17.Render(), "CoCoNet-NVLS") {
+		t.Error("fig17 render missing baseline column")
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cais/internal/area"
+	"cais/internal/config"
+	"cais/internal/kernel"
+	"cais/internal/machine"
+	"cais/internal/metrics"
+	"cais/internal/model"
+	"cais/internal/sim"
+)
+
+// Fig18Row is one AllReduce message-size point.
+type Fig18Row struct {
+	SizeMB   int
+	SimMS    float64 // event-simulated NVLS AllReduce
+	RefMS    float64 // hardware reference model
+	ErrPct   float64
+	RingMS   float64 // GPU-driven ring AllReduce (Sec. II's 2-8x context)
+	NVLSGain float64 // ring / NVLS
+	BusBWGBs float64 // achieved algorithm bandwidth
+}
+
+// Fig18Result is the NVLS validation study.
+type Fig18Result struct {
+	Rows   []Fig18Row
+	AvgErr float64 // the paper reports 3.87%
+}
+
+// Fig18 reproduces Fig. 18: AllReduce latency of the simulated NVLS
+// implementation across message sizes, validated against a hardware
+// reference model (an alpha-beta model parameterized from published
+// DGX-H100 NVLS numbers — DESIGN.md §1 records this substitution: no
+// physical testbed exists here). The paper measures 1-16 GB messages on
+// real hardware; we sweep the same saturated-bandwidth regime at sizes the
+// event simulator covers in reasonable time.
+func Fig18(c Config) (*Fig18Result, error) {
+	sizesMB := []int{64, 128, 256, 512, 1024}
+	if c.Quick {
+		sizesMB = []int{64, 128}
+	}
+	hw := c.HW
+	hw.RequestBytes = 64 << 10
+	// Reference: T = alpha + V / algbw with algbw the effective
+	// per-direction link bandwidth (NVLS one-shot AllReduce moves V up
+	// and V down per GPU).
+	algbw := hw.LinkBandwidth * hw.LinkEfficiency
+	// alpha folds the fixed costs our simulator charges a collective
+	// (kernel launch overhead plus expected launch-jitter absorption).
+	alpha := hw.KernelLaunchOverhead + hw.KernelLaunchJitter
+
+	out := &Fig18Result{}
+	var errSum float64
+	for _, mb := range sizesMB {
+		bytes := int64(mb) << 20
+		simT, err := runAllReduce(hw, bytes, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig18 %dMB nvls: %w", mb, err)
+		}
+		ringT, err := runAllReduce(hw, bytes, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig18 %dMB ring: %w", mb, err)
+		}
+		refT := alpha + sim.DurationForBytes(bytes, algbw)
+		e := math.Abs(float64(simT)-float64(refT)) / float64(refT) * 100
+		errSum += e
+		out.Rows = append(out.Rows, Fig18Row{
+			SizeMB: mb,
+			SimMS:  ms(simT), RefMS: ms(refT), ErrPct: e,
+			RingMS: ms(ringT), NVLSGain: float64(ringT) / float64(simT),
+			BusBWGBs: float64(bytes) / simT.Seconds() / 1e9,
+		})
+	}
+	out.AvgErr = errSum / float64(len(sizesMB))
+	return out, nil
+}
+
+// runAllReduce simulates one bare AllReduce of the given payload using the
+// NVLS push-reduction (nvls=true) or the GPU-driven ring (nvls=false).
+func runAllReduce(hw config.Hardware, bytes int64, nvls bool) (sim.Time, error) {
+	eng := sim.NewEngine()
+	eng.SetStepLimit(500_000_000)
+	m := machine.New(eng, hw, machine.Options{})
+	b := model.NewBuilder(m)
+
+	// Shape the payload as an M x N bf16 tensor.
+	cols := 8192
+	rows := int(bytes / int64(cols*hw.ElemBytes))
+	if rows < model.TileM {
+		rows = model.TileM
+	}
+	partial := b.NewLocalGrid(rows, cols)
+	out := b.NewLocalGrid(rows, cols)
+	in := func(g, mi, ni int) []kernel.Tile { return nil }
+	var k *kernel.Kernel
+	if nvls {
+		k = b.NVLSAllReduce("ar.bench", rows, cols, in, out)
+	} else {
+		k = b.RingAllReduce("ar.bench", rows, cols, in, out)
+	}
+	_ = partial
+	completed := false
+	m.Eng.At(0, func() {
+		m.LaunchKernel(k, func() { completed = true })
+	})
+	// The collective is done when every GPU's reduced copy has been
+	// delivered, not when the (posted) pushes were issued: run to
+	// quiescence and confirm all output tiles published.
+	end := m.Run()
+	if !completed {
+		if err := m.CheckQuiescent(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("allreduce did not complete")
+	}
+	for g := 0; g < hw.NumGPUs; g++ {
+		if !m.TileReady(out.Tile(0, 0, g)) || !m.TileReady(out.Tile(out.MTiles-1, out.NTiles-1, g)) {
+			return 0, fmt.Errorf("allreduce data not fully delivered")
+		}
+	}
+	return end, nil
+}
+
+// Render formats the Fig. 18 table.
+func (r *Fig18Result) Render() string {
+	t := metrics.NewTable("Fig. 18: NVLS AllReduce validation vs hardware reference model",
+		"Size (MB)", "sim (ms)", "ref (ms)", "err %", "ring (ms)", "NVLS gain", "algbw (GB/s)")
+	for _, row := range r.Rows {
+		t.Addf(row.SizeMB, row.SimMS, row.RefMS, row.ErrPct, row.RingMS, row.NVLSGain, row.BusBWGBs)
+	}
+	t.AddRow("", "", "", fmt.Sprintf("avg %.2f%%", r.AvgErr), "", "", "")
+	return t.String()
+}
+
+// Area renders the Section V-D hardware-overhead estimates.
+func Area() string {
+	cfg := area.Default()
+	sw := area.SwitchOverhead(cfg)
+	g := area.GPUOverhead(cfg)
+	t := metrics.NewTable("Sec. V-D: hardware overhead at TSMC 12nm",
+		"Structure", "Area (mm^2)", "% of die")
+	t.AddRow("NVSwitch merge units (8 ports)", fmt.Sprintf("%.3f", sw.MM2), fmt.Sprintf("%.2f%%", sw.PctOfDie))
+	t.AddRow("GPU TB-group synchronizer", fmt.Sprintf("%.4f", g.MM2), fmt.Sprintf("%.4f%%", g.PctOfDie))
+	return t.String()
+}

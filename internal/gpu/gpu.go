@@ -1,0 +1,340 @@
+// Package gpu models one H100-class device at thread-block granularity:
+// an SM pool with per-kernel partitions (asymmetric kernel overlapping), a
+// FIFO TB scheduler with deterministic cross-GPU ordering, roofline TB
+// cost with calibrated execution noise, remote request generation with
+// configurable chunking, the CAIS synchronizer (pre-launch and pre-access
+// TB-group synchronization, Sec. III-B), and TB-aware request throttling.
+package gpu
+
+import (
+	"fmt"
+
+	"cais/internal/config"
+	"cais/internal/kernel"
+	"cais/internal/noc"
+	"cais/internal/sim"
+)
+
+// TileTag travels on data packets so the machine layer can publish tiles
+// and count reduction contributions at the receiving GPU.
+type TileTag struct {
+	Base      uint64 // access base address (chunks share it)
+	NeedBytes int64  // contribution bytes required before publishing
+	Publish   []kernel.Tile
+	// PublishAt, when non-nil, yields receiver-specific tiles (multicast
+	// copies land in per-GPU local buffers).
+	PublishAt func(gpu int) []kernel.Tile
+}
+
+// DataSink is the machine layer's view of data movement: it receives every
+// committed data arrival and every completed publishing access so it can
+// drive TB-level dataflow.
+type DataSink interface {
+	// OnData fires when a data packet has been committed to this GPU's
+	// HBM (stores, reduction results, multicast copies).
+	OnData(gpu int, p *noc.Packet)
+	// OnAccessDone fires when one TB's access (all chunks) completed at
+	// the issuing GPU: loads with arrived data, or local accesses.
+	OnAccessDone(gpu int, a kernel.Access)
+}
+
+// GPU is one simulated device.
+type GPU struct {
+	ID int
+
+	eng     *sim.Engine
+	hw      config.Hardware
+	up      []*noc.Link // per switch plane
+	planeOf func(addr uint64) int
+	hbm     *sim.Resource
+	sink    DataSink
+
+	slotsFree int
+	launches  []*Launch
+	rrLaunch  int
+	sync      *Synchronizer
+	throttle  *Throttle
+
+	nextPktID uint64
+	seed      uint64
+
+	// Stats.
+	TBsRun         int64
+	RequestsSent   int64
+	BytesRequested int64
+}
+
+// New creates a GPU. Uplinks are attached afterwards with ConnectUp.
+func New(eng *sim.Engine, id int, hw config.Hardware, planeOf func(addr uint64) int, sink DataSink) *GPU {
+	g := &GPU{
+		ID: id, eng: eng, hw: hw, planeOf: planeOf, sink: sink,
+		up:        make([]*noc.Link, hw.NumSwitchPlanes),
+		hbm:       sim.NewResource(fmt.Sprintf("gpu%d.hbm", id)),
+		slotsFree: hw.SMsPerGPU,
+		seed:      sim.Hash64(hw.Seed, uint64(id)),
+	}
+	g.sync = newSynchronizer(g)
+	// The throttle bounds outstanding mergeable bytes (released by switch
+	// acceptance credits). Rate pacing is deliberately not used: any
+	// per-GPU serialized regulator would perturb the alignment the group
+	// synchronization establishes (GPU streams differ by data ownership).
+	g.throttle = newThrottle(eng, 0, hw.ThrottleWindowBytes)
+	return g
+}
+
+// ConnectUp attaches the GPU->switch link for one plane.
+func (g *GPU) ConnectUp(plane int, link *noc.Link) { g.up[plane] = link }
+
+// Uplink returns the GPU->switch link of a plane (for metrics wiring).
+func (g *GPU) Uplink(plane int) *noc.Link { return g.up[plane] }
+
+// HBM exposes the memory resource (for utilization reporting).
+func (g *GPU) HBM() *sim.Resource { return g.hbm }
+
+// Synchronizer exposes the TB-group synchronizer (for tests).
+func (g *GPU) Synchronizer() *Synchronizer { return g.sync }
+
+// Throttle exposes the request throttle (for tests).
+func (g *GPU) Throttle() *Throttle { return g.throttle }
+
+func (g *GPU) pktID() uint64 {
+	g.nextPktID++
+	return uint64(g.ID)<<48 | g.nextPktID
+}
+
+// SendHook, when set, observes every uplink send (diagnostics).
+var SendHook func(gpu int, p *noc.Packet, t sim.Time)
+
+// sendUp routes a packet onto the deterministic plane for its address.
+func (g *GPU) sendUp(p *noc.Packet) {
+	if SendHook != nil {
+		SendHook(g.ID, p, g.eng.Now())
+	}
+	plane := g.planeOf(p.Addr)
+	if g.up[plane] == nil {
+		panic(fmt.Sprintf("gpu%d: no uplink for plane %d", g.ID, plane))
+	}
+	g.RequestsSent++
+	g.BytesRequested += p.WireBytes()
+	g.up[plane].Send(p)
+}
+
+// hbmTime is the service time of n bytes at full HBM bandwidth.
+func (g *GPU) hbmTime(n int64) sim.Time {
+	return sim.DurationForBytes(n, g.hw.HBMBandwidth)
+}
+
+// Receive implements noc.Endpoint for downlink traffic.
+func (g *GPU) Receive(p *noc.Packet) {
+	switch p.Op {
+	case noc.OpLoad, noc.OpReadFan:
+		// Serve a remote read from HBM, then respond on the address's
+		// plane so merge/pull sessions see the response.
+		_, end := g.hbm.Reserve(g.eng.Now(), g.hbmTime(p.Size))
+		g.eng.At(end, func() {
+			resp := &noc.Packet{
+				ID: g.pktID(), Op: noc.OpLoadResp, Addr: p.Addr, Home: g.ID,
+				Src: g.ID, Dst: p.Src, Size: p.Size, Group: p.Group, Tag: p.Tag,
+			}
+			g.sendUp(resp)
+		})
+
+	case noc.OpLoadResp:
+		// Requested data arrived: commit to HBM, then complete.
+		_, end := g.hbm.Reserve(g.eng.Now(), g.hbmTime(p.Size))
+		g.eng.At(end, func() {
+			switch {
+			case p.OnDone != nil:
+				p.OnDone()
+			default:
+				if ctx, ok := p.Tag.(*loadCtx); ok {
+					ctx.done()
+				}
+			}
+		})
+
+	case noc.OpStore, noc.OpRedCAIS, noc.OpMultimemRed, noc.OpMultimemST:
+		// Incoming write/reduction/multicast data: commit to HBM, then
+		// notify the machine layer (tile publishing, contribution
+		// counting) and the issuer.
+		_, end := g.hbm.Reserve(g.eng.Now(), g.hbmTime(p.Size))
+		g.eng.At(end, func() {
+			g.sink.OnData(g.ID, p)
+			if p.OnDone != nil {
+				p.OnDone()
+			}
+		})
+
+	case noc.OpSyncRelease:
+		g.sync.Release(p.Group, int(p.Addr))
+
+	default:
+		panic(fmt.Sprintf("gpu%d: unexpected downlink op %v", g.ID, p.Op))
+	}
+}
+
+// issueAccess performs one TB access. onIssued fires once every chunk has
+// been handed to the fabric (posted-write retirement point); onComplete
+// fires when the access's data movement finished at this GPU (loads: all
+// chunks arrived; local accesses: HBM reservation drained). onComplete may
+// be nil for posted writes.
+func (g *GPU) issueAccess(a kernel.Access, group int, throttled bool, onIssued, onComplete func()) {
+	if a.Local {
+		_, end := g.hbm.Reserve(g.eng.Now(), g.hbmTime(a.Bytes))
+		if onIssued != nil {
+			g.eng.After(0, onIssued)
+		}
+		g.eng.At(end, func() {
+			if len(a.Publish) > 0 || a.PublishAt != nil {
+				g.sink.OnAccessDone(g.ID, a)
+			}
+			if onComplete != nil {
+				onComplete()
+			}
+		})
+		return
+	}
+
+	chunks := chunkSizes(a.Bytes, g.hw.RequestBytes)
+	n := len(chunks)
+	issued := sim.NewLatch(n)
+	if onIssued != nil {
+		issued.OnRelease(onIssued)
+	}
+	// Reads publish their tiles at the issuing GPU once the data arrives;
+	// remote writes/reductions publish at the home GPU via the packet tag
+	// (never here — the issuer's completion is only a throttling signal).
+	publishHere := a.Sem == kernel.SemRead && (len(a.Publish) > 0 || a.PublishAt != nil)
+	var completed *sim.Latch
+	if onComplete != nil || publishHere {
+		completed = sim.NewLatch(n)
+		completed.OnRelease(func() {
+			if publishHere {
+				g.sink.OnAccessDone(g.ID, a)
+			}
+			if onComplete != nil {
+				onComplete()
+			}
+		})
+	}
+
+	var tag *TileTag
+	if writesData(a.Mode) {
+		need := a.TileNeed
+		if need <= 0 {
+			need = 1
+		}
+		tag = &TileTag{Base: a.Addr, NeedBytes: int64(need) * a.Bytes, Publish: a.Publish, PublishAt: a.PublishAt}
+	}
+
+	gate := func(bytes int64, fn func()) { fn() }
+	release := func(bytes int64) {}
+	// Throttling applies to reduction traffic: red.cais carries data
+	// uplink (the direction the merge footprint accumulates on), while
+	// ld.cais requests are header-only and already paced by the
+	// request/response round trip.
+	if throttled && a.Mode == noc.OpRedCAIS {
+		gate = g.throttle.Acquire
+		release = g.throttle.Release
+	}
+
+	sendChunk := func(i int, onChunkDone func()) {
+		sz := chunks[i]
+		addr := a.Addr + uint64(i)
+		gate(sz, func() {
+			throttledReq := throttled && a.Mode == noc.OpRedCAIS
+			done := func() {
+				if !throttledReq {
+					release(sz)
+				}
+				if onChunkDone != nil {
+					onChunkDone()
+				}
+				if completed != nil {
+					completed.Done()
+				}
+			}
+			p := &noc.Packet{
+				ID: g.pktID(), Op: a.Mode, Addr: addr, Home: a.Home,
+				Src: g.ID, Dst: a.Home, Size: sz, Group: group,
+			}
+			if throttledReq {
+				// Release on the switch's acceptance credit, not on
+				// completion: completion of a merged request depends on
+				// peer GPUs and would convoy the window.
+				p.OnAccepted = func() { release(sz) }
+			}
+			switch a.Mode {
+			case noc.OpLdCAIS, noc.OpMultimemLdReduce:
+				p.Contribs = a.Expected
+				p.OnDone = done
+			case noc.OpLoad:
+				// Plain P2P loads route the completion through the tag:
+				// the home GPU copies the tag onto its response.
+				p.Contribs = a.Expected
+				p.Tag = &loadCtx{done: done}
+			case noc.OpStore, noc.OpMultimemST:
+				p.Contribs = 1
+				p.Tag = tag
+				p.OnDone = done
+			case noc.OpRedCAIS, noc.OpMultimemRed:
+				p.Contribs = a.Expected
+				p.Tag = tag
+				// Reductions complete (for throttling) when the merge
+				// session finishes or flushes at the switch.
+				p.OnDone = done
+				if a.Broadcast {
+					p.Dst = -1
+				} else if a.Mode == noc.OpMultimemRed {
+					p.Dst = a.Home
+				}
+			default:
+				panic(fmt.Sprintf("gpu%d: cannot issue op %v", g.ID, a.Mode))
+			}
+			g.sendUp(p)
+			issued.Done()
+		})
+	}
+
+	for i := range chunks {
+		sendChunk(i, nil)
+	}
+}
+
+// loadCtx carries a plain load's completion closure through the
+// request/response round trip.
+type loadCtx struct {
+	done func()
+}
+
+func writesData(op noc.Op) bool {
+	switch op {
+	case noc.OpStore, noc.OpRedCAIS, noc.OpMultimemRed, noc.OpMultimemST:
+		return true
+	}
+	return false
+}
+
+func mergeable(op noc.Op) bool {
+	return op == noc.OpLdCAIS || op == noc.OpRedCAIS
+}
+
+// chunkSizes splits n bytes into request-granularity chunks.
+func chunkSizes(n, chunk int64) []int64 {
+	if n <= 0 {
+		return []int64{0}
+	}
+	if chunk <= 0 {
+		chunk = n
+	}
+	var out []int64
+	for n > 0 {
+		c := chunk
+		if n < c {
+			c = n
+		}
+		out = append(out, c)
+		n -= c
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package gpu
+
+import (
+	"fmt"
+
+	"cais/internal/kernel"
+	"cais/internal/sim"
+)
+
+// LaunchOpts parameterizes one kernel launch on one GPU.
+type LaunchOpts struct {
+	// LaunchID is the machine-wide launch sequence number; it seeds the
+	// per-launch jitter so the same launch gets different (deterministic)
+	// noise on each GPU.
+	LaunchID int
+	// GroupBase offsets the kernel's TB-local group IDs into the global
+	// group-ID space shared with the switch's Group Sync Table.
+	GroupBase int
+	// OnTBRetire fires when TB tb retires (its posts are issued).
+	OnTBRetire func(tb int)
+	// OnDone fires when every TB of the launch has retired.
+	OnDone func()
+}
+
+// Launch is one kernel instance executing on one GPU.
+type Launch struct {
+	K  *kernel.Kernel
+	id int
+	g  *GPU
+
+	groupBase int
+	limit     int // SM partition size (asymmetric kernel overlapping)
+	active    int
+	started   bool
+	readyAt   sim.Time
+	buffered  []int    // eligible TBs seen before readyAt
+	ready     []*tbRun // dispatchable FIFO
+	remaining int
+	done      bool
+
+	onTBRetire func(int)
+	onDone     func()
+
+	// StartedAt / FinishedAt bracket the launch for reporting.
+	StartedAt  sim.Time
+	FinishedAt sim.Time
+}
+
+// tbRun is one thread block's runtime state.
+type tbRun struct {
+	tb    int
+	desc  kernel.TBDesc
+	group int // absolute group ID, -1 when ungrouped
+
+	// loaded marks a coordinated TB whose pre-phase loads completed while
+	// it was suspended: on re-dispatch it goes straight to compute.
+	loaded bool
+}
+
+// Launch starts a kernel on this GPU. The caller (machine layer) marks TBs
+// eligible as their input tiles become ready.
+func (g *GPU) Launch(k *kernel.Kernel, opts LaunchOpts) *Launch {
+	if err := k.Validate(); err != nil {
+		panic(fmt.Sprintf("gpu%d: %v", g.ID, err))
+	}
+	l := &Launch{
+		K: k, id: opts.LaunchID, g: g,
+		groupBase:  opts.GroupBase,
+		limit:      g.partitionFor(k),
+		remaining:  k.Grid,
+		onTBRetire: opts.OnTBRetire,
+		onDone:     opts.OnDone,
+		StartedAt:  g.eng.Now(),
+	}
+	overhead := g.hw.KernelLaunchOverhead
+	if k.LaunchOverheadOverride > 0 {
+		overhead = k.LaunchOverheadOverride
+	}
+	rng := sim.NewRNG(sim.Hash64(g.seed, uint64(opts.LaunchID)))
+	jitter := rng.Between(0, g.hw.KernelLaunchJitter)
+	l.readyAt = g.eng.Now() + overhead + jitter
+	g.launches = append(g.launches, l)
+	g.eng.At(l.readyAt, func() {
+		l.started = true
+		buffered := l.buffered
+		l.buffered = nil
+		for _, tb := range buffered {
+			l.admit(tb)
+		}
+		g.trySchedule()
+	})
+	return l
+}
+
+// partitionFor sizes a kernel's SM partition.
+func (g *GPU) partitionFor(k *kernel.Kernel) int {
+	if k.CommSMs > 0 {
+		if k.CommSMs > g.hw.SMsPerGPU {
+			return g.hw.SMsPerGPU
+		}
+		return k.CommSMs
+	}
+	if k.SMShare > 0 {
+		n := int(k.SMShare * float64(g.hw.SMsPerGPU))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return g.hw.SMsPerGPU
+}
+
+// MarkEligible tells the launch that TB tb's input tiles are ready. The
+// machine layer must call this exactly once per TB, in the same order on
+// every GPU (our global tile tracker guarantees it); that shared order is
+// what makes cross-GPU group synchronization deadlock-free.
+func (l *Launch) MarkEligible(tb int) {
+	if tb < 0 || tb >= l.K.Grid {
+		panic(fmt.Sprintf("gpu%d: eligible tb %d out of grid %d", l.g.ID, tb, l.K.Grid))
+	}
+	if !l.started {
+		l.buffered = append(l.buffered, tb)
+		return
+	}
+	l.admit(tb)
+	l.g.trySchedule()
+}
+
+// admit runs pre-launch synchronization (when coordinated) and then queues
+// the TB for dispatch. No-op TBs (empty slots of an SPMD grid whose work
+// lives on another GPU) retire immediately without occupying an SM.
+func (l *Launch) admit(tb int) {
+	desc := l.K.Work(l.g.ID, tb)
+	run := &tbRun{tb: tb, desc: desc, group: -1}
+	if isNoop(desc) {
+		l.g.eng.After(0, func() { l.g.finishTB(l, run) })
+		return
+	}
+	if desc.Group >= 0 {
+		run.group = l.groupBase + desc.Group
+	}
+	if l.K.PreLaunchSync && run.group >= 0 && participates(l.K, desc.Pre, desc.Post) {
+		l.g.sync.Wait(run.group, PhasePreLaunch, l.groupPeers(desc), func() {
+			// Releases arrive in admission order, so appending preserves
+			// the cross-GPU dispatch order (and keeps the home GPU's
+			// local-contribution TBs interleaved with their groups).
+			l.ready = append(l.ready, run)
+			l.g.trySchedule()
+		})
+		return
+	}
+	l.ready = append(l.ready, run)
+}
+
+// groupPeers is the number of GPUs registering this TB's group with the
+// switch's Group Sync Table.
+func (l *Launch) groupPeers(d kernel.TBDesc) int {
+	if d.GroupPeers > 0 {
+		return d.GroupPeers
+	}
+	return l.g.hw.NumGPUs
+}
+
+// participates reports whether a TB takes part in its group's
+// synchronization: TBs with CAIS-tagged accesses always do; with TB-aware
+// request throttling enabled, the data owner's TB (whose access is local)
+// also joins, so no GPU runs ahead of its group's peers (Sec. III-B-2).
+func participates(k *kernel.Kernel, accLists ...[]kernel.Access) bool {
+	for _, accs := range accLists {
+		if anyMergeable(accs) {
+			return true
+		}
+		if k.Throttled && anyLocalGrouped(accs) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyLocalGrouped(accs []kernel.Access) bool {
+	for _, a := range accs {
+		if a.Local && (a.Sem == kernel.SemRead || a.Sem == kernel.SemReduce) && a.TileNeed != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// trySchedule dispatches dispatchable TBs onto free SM slots. Launches are
+// served round-robin so concurrently-runnable kernels share the SM pool
+// fairly — this is what lets asymmetric kernel overlapping co-run an
+// uplink-heavy and a downlink-heavy kernel (Sec. III-C-2) — while
+// per-launch partition limits still bound each kernel's footprint.
+func (g *GPU) trySchedule() {
+	for g.slotsFree > 0 {
+		dispatched := false
+		n := len(g.launches)
+		for i := 0; i < n && g.slotsFree > 0; i++ {
+			l := g.launches[(g.rrLaunch+i)%n]
+			if l.done || !l.started || len(l.ready) == 0 || l.active >= l.limit {
+				continue
+			}
+			run := l.ready[0]
+			l.ready = l.ready[1:]
+			g.dispatch(l, run)
+			g.rrLaunch = (g.rrLaunch + i + 1) % n
+			dispatched = true
+			break
+		}
+		if !dispatched {
+			return
+		}
+	}
+}
+
+// dispatch runs one TB's lifecycle on an SM slot.
+func (g *GPU) dispatch(l *Launch, run *tbRun) {
+	g.slotsFree--
+	l.active++
+	g.eng.After(g.hw.TBOverhead, func() { g.tbPrePhase(l, run) })
+}
+
+// tbPrePhase performs pre-access synchronization (for mergeable loads) and
+// issues the TB's load accesses; compute starts once all loads complete.
+//
+// Coordinated TBs do not hold the SM while waiting: the group release
+// triggers the (aligned) load issue directly — the loads need no compute —
+// and the TB re-acquires a slot with priority once its data arrived. This
+// models the paper's latency hiding ("the warp scheduler can issue
+// independent instructions", Sec. III-B-2) and keeps the aligned issue
+// times that make request merging effective.
+func (g *GPU) tbPrePhase(l *Launch, run *tbRun) {
+	if run.loaded {
+		g.tbCompute(l, run)
+		return
+	}
+	if l.K.PreAccessSync && run.group >= 0 && participates(l.K, run.desc.Pre) {
+		g.sync.Wait(run.group, PhasePreLoad, l.groupPeers(run.desc), func() {
+			latch := sim.NewLatch(len(run.desc.Pre))
+			latch.OnRelease(func() {
+				run.loaded = true
+				l.ready = append([]*tbRun{run}, l.ready...)
+				g.trySchedule()
+			})
+			for _, a := range run.desc.Pre {
+				g.issueAccess(a, run.group, l.K.Throttled, nil, latch.Done)
+			}
+		})
+		// Yield the slot while the group synchronizes and the data moves.
+		g.slotsFree++
+		l.active--
+		g.trySchedule()
+		return
+	}
+	if len(run.desc.Pre) == 0 {
+		g.tbCompute(l, run)
+		return
+	}
+	latch := sim.NewLatch(len(run.desc.Pre))
+	latch.OnRelease(func() { g.tbCompute(l, run) })
+	for _, a := range run.desc.Pre {
+		g.issueAccess(a, run.group, l.K.Throttled, nil, latch.Done)
+	}
+}
+
+func anyMergeable(accs []kernel.Access) bool {
+	for _, a := range accs {
+		if mergeable(a.Mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// tbCompute occupies the SM for the roofline duration with calibrated
+// noise, then moves to the post phase.
+func (g *GPU) tbCompute(l *Launch, run *tbRun) {
+	d := g.computeTime(l, run)
+	g.eng.After(d, func() { g.tbPostPhase(l, run) })
+}
+
+// computeTime is the TB's roofline cost: max of compute and local-memory
+// time, scaled by deterministic per-(gpu,launch,tb) execution noise.
+func (g *GPU) computeTime(l *Launch, run *tbRun) sim.Time {
+	flopsT := sim.Time(0)
+	if run.desc.Flops > 0 {
+		flopsT = sim.Time(run.desc.Flops / g.hw.SMFLOPs * float64(sim.Second))
+	}
+	memT := sim.Time(0)
+	if run.desc.LocalBytes > 0 {
+		perSM := g.hw.HBMBandwidth / float64(g.hw.SMsPerGPU)
+		memT = sim.DurationForBytes(run.desc.LocalBytes, perSM)
+	}
+	d := flopsT
+	if memT > d {
+		d = memT
+	}
+	rng := sim.NewRNG(sim.Hash64(g.seed, uint64(l.id), uint64(run.tb)))
+	return sim.Time(float64(d) * rng.Jitter(g.hw.TBTimeNoise))
+}
+
+// tbPostPhase performs pre-access synchronization for mergeable reductions
+// and issues the TB's write/reduction accesses; the TB retires once every
+// post access has been issued (posted-write semantics — downstream
+// dependencies are tracked at the home GPU).
+func (g *GPU) tbPostPhase(l *Launch, run *tbRun) {
+	issue := func(finish func()) func() {
+		return func() {
+			if len(run.desc.Post) == 0 {
+				finish()
+				return
+			}
+			issued := sim.NewLatch(len(run.desc.Post))
+			issued.OnRelease(finish)
+			for _, a := range run.desc.Post {
+				g.issueAccess(a, run.group, l.K.Throttled, issued.Done, nil)
+			}
+		}
+	}
+	if l.K.PreAccessSync && run.group >= 0 && participates(l.K, run.desc.Post) {
+		// Yield the SM while waiting for the group: issuing the posts
+		// after the release needs no further compute, so the TB finishes
+		// without re-acquiring a slot.
+		g.slotsFree++
+		l.active--
+		g.TBsRun++
+		g.sync.Wait(run.group, PhasePreReduce, l.groupPeers(run.desc),
+			issue(func() { g.finishTB(l, run) }))
+		g.trySchedule()
+		return
+	}
+	issue(func() { g.tbRetire(l, run) })()
+}
+
+// tbRetire frees the SM slot and finishes the TB.
+func (g *GPU) tbRetire(l *Launch, run *tbRun) {
+	g.slotsFree++
+	l.active--
+	g.TBsRun++
+	g.finishTB(l, run)
+}
+
+// finishTB publishes the TB's output tiles (via the machine callback) and
+// completes the launch when the grid drains. isNoop TBs come here directly
+// without ever holding an SM slot.
+func (g *GPU) finishTB(l *Launch, run *tbRun) {
+	if l.onTBRetire != nil {
+		l.onTBRetire(run.tb)
+	}
+	l.remaining--
+	if l.remaining == 0 {
+		l.done = true
+		l.FinishedAt = g.eng.Now()
+		g.removeLaunch(l)
+		if l.onDone != nil {
+			l.onDone()
+		}
+	}
+	g.trySchedule()
+}
+
+// isNoop reports whether a TB descriptor carries no work at all: such TBs
+// are the empty slots of an SPMD grid (the block's work lives on another
+// GPU) and retire without occupying an SM.
+func isNoop(d kernel.TBDesc) bool {
+	return d.Flops == 0 && d.LocalBytes == 0 &&
+		len(d.Pre) == 0 && len(d.Post) == 0
+}
+
+func (g *GPU) removeLaunch(l *Launch) {
+	for i, x := range g.launches {
+		if x == l {
+			g.launches = append(g.launches[:i], g.launches[i+1:]...)
+			return
+		}
+	}
+}
+
+// ActiveLaunches reports how many launches are in flight.
+func (g *GPU) ActiveLaunches() int { return len(g.launches) }
+
+// FreeSlots reports currently idle SM slots.
+func (g *GPU) FreeSlots() int { return g.slotsFree }

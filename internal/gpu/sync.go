@@ -1,0 +1,154 @@
+package gpu
+
+import (
+	"fmt"
+
+	"cais/internal/noc"
+	"cais/internal/sim"
+)
+
+// Sync phases of the TB-group coordination protocol (Sec. III-B-2).
+const (
+	// PhasePreLaunch aligns TB dispatch across GPUs.
+	PhasePreLaunch = 0
+	// PhasePreLoad aligns the first mergeable load of a TB.
+	PhasePreLoad = 1
+	// PhasePreReduce aligns the first mergeable reduction of a TB.
+	PhasePreReduce = 2
+)
+
+type syncKey struct {
+	group int
+	phase int
+}
+
+// Synchronizer is the per-GPU module of Fig. 8b: it registers TB groups
+// with the switch's Group Sync Table by exchanging lightweight empty
+// packets (one request, one release, ~0.5 us round trip) and resumes the
+// waiting TB when the release arrives.
+type Synchronizer struct {
+	g        *GPU
+	waiting  map[syncKey]func()
+	Requests int64 // sync requests sent (stats)
+}
+
+func newSynchronizer(g *GPU) *Synchronizer {
+	return &Synchronizer{g: g, waiting: make(map[syncKey]func())}
+}
+
+// Wait registers the TB group for the given phase and calls fn when the
+// switch releases the group. Exactly one TB per (group, phase) may wait on
+// a given GPU — that is the group invariant established by the compiler.
+func (s *Synchronizer) Wait(group, phase, expected int, fn func()) {
+	key := syncKey{group: group, phase: phase}
+	if _, dup := s.waiting[key]; dup {
+		panic(fmt.Sprintf("gpu%d: duplicate sync wait for group %d phase %d", s.g.ID, group, phase))
+	}
+	s.waiting[key] = fn
+	s.Requests++
+	req := &noc.Packet{
+		ID: s.g.pktID(), Op: noc.OpSyncRequest,
+		Addr: uint64(phase), Group: group,
+		Src: s.g.ID, Dst: -1, Contribs: expected,
+	}
+	// Sync traffic routes on the group's deterministic plane so all GPUs
+	// of a group meet at the same Group Sync Table.
+	plane := group % len(s.g.up)
+	if plane < 0 {
+		plane = 0
+	}
+	s.g.up[plane].Send(req)
+}
+
+// Release resumes the TB waiting on (group, phase).
+func (s *Synchronizer) Release(group, phase int) {
+	key := syncKey{group: group, phase: phase}
+	fn, ok := s.waiting[key]
+	if !ok {
+		panic(fmt.Sprintf("gpu%d: release for unknown sync group %d phase %d", s.g.ID, group, phase))
+	}
+	delete(s.waiting, key)
+	fn()
+}
+
+// Pending reports how many sync waits are outstanding.
+func (s *Synchronizer) Pending() int { return len(s.waiting) }
+
+// Throttle implements TB-aware request throttling (Sec. III-B-2): it
+// paces mergeable request injection to the GPU's effective uplink rate —
+// the same rate on every GPU, so aligned issue stays aligned at the switch
+// — and bounds outstanding bytes (the paper's Sec. V-C-2 footprint bound)
+// as a backstop, releasing on the switch's acceptance credits.
+type Throttle struct {
+	eng      *sim.Engine
+	rate     float64 // bytes/s injection pacing; <= 0 disables pacing
+	window   int64   // outstanding-bytes bound; <= 0 disables
+	nextFree sim.Time
+	out      int64
+	queue    []throttleReq
+	armed    bool
+	Deferred int64 // requests that could not issue immediately (stats)
+}
+
+type throttleReq struct {
+	bytes int64
+	fn    func()
+}
+
+func newThrottle(eng *sim.Engine, rate float64, window int64) *Throttle {
+	return &Throttle{eng: eng, rate: rate, window: window}
+}
+
+// Acquire runs fn when pacing and the outstanding window allow; FIFO order
+// is preserved.
+func (t *Throttle) Acquire(bytes int64, fn func()) {
+	wasIdle := len(t.queue) == 0
+	t.queue = append(t.queue, throttleReq{bytes: bytes, fn: fn})
+	t.pump()
+	if !wasIdle || len(t.queue) > 0 {
+		t.Deferred++
+	}
+}
+
+func (t *Throttle) pump() {
+	for len(t.queue) > 0 {
+		head := t.queue[0]
+		// Outstanding-window backstop: an idle window always grants so an
+		// oversize request cannot starve.
+		if t.window > 0 && t.out > 0 && t.out+head.bytes > t.window {
+			return // a Release will re-pump
+		}
+		now := t.eng.Now()
+		if t.rate > 0 && t.nextFree > now {
+			if !t.armed {
+				t.armed = true
+				t.eng.At(t.nextFree, func() {
+					t.armed = false
+					t.pump()
+				})
+			}
+			return
+		}
+		t.queue = t.queue[1:]
+		t.out += head.bytes
+		if t.rate > 0 {
+			t.nextFree = now + sim.DurationForBytes(head.bytes, t.rate)
+		}
+		head.fn()
+	}
+}
+
+// Release returns outstanding-window space (switch acceptance credit).
+func (t *Throttle) Release(bytes int64) {
+	if t.window <= 0 {
+		return
+	}
+	t.out -= bytes
+	if t.out < 0 {
+		panic("gpu: throttle window underflow")
+	}
+	t.pump()
+}
+
+// Outstanding reports in-flight throttled bytes.
+func (t *Throttle) Outstanding() int64 { return t.out }

@@ -1,0 +1,12 @@
+package gpu
+
+import "cais/internal/config"
+
+// testHardware is a small config for unit tests.
+func testHardware() config.Hardware {
+	hw := config.DGXH100()
+	hw.NumGPUs = 4
+	hw.NumSwitchPlanes = 2
+	hw.SMsPerGPU = 4
+	return hw
+}

@@ -1,0 +1,198 @@
+package machine
+
+import (
+	"fmt"
+
+	"cais/internal/gpu"
+	"cais/internal/kernel"
+	"cais/internal/noc"
+)
+
+// LaunchKernel starts kernel k on every GPU (SPMD) and wires TB-level
+// dependencies through the global tile tracker. onDone fires when the
+// kernel has retired on all GPUs.
+func (m *Machine) LaunchKernel(k *kernel.Kernel, onDone func()) {
+	if err := k.Validate(); err != nil {
+		panic(err)
+	}
+	m.nextLaunchID++
+	launchID := m.nextLaunchID
+	groupBase := m.nextGroupBase
+	m.nextGroupBase += k.Grid
+
+	span := &KernelSpan{Name: k.Name, Kind: k.Kind, Start: m.Eng.Now()}
+	m.KernelSpans = append(m.KernelSpans, span)
+	remaining := len(m.GPUs)
+	launches := make([]*gpu.Launch, len(m.GPUs))
+	for g := range m.GPUs {
+		g := g
+		launches[g] = m.GPUs[g].Launch(k, gpu.LaunchOpts{
+			LaunchID:  launchID,
+			GroupBase: groupBase,
+			OnTBRetire: func(tb int) {
+				out := k.Work(g, tb).Out
+				if len(out) > 0 {
+					m.PublishTiles(out)
+				}
+			},
+			OnDone: func() {
+				remaining--
+				if remaining == 0 {
+					span.End = m.Eng.Now()
+					if onDone != nil {
+						onDone()
+					}
+				}
+			},
+		})
+	}
+	// Register input dependencies after all launches exist so publishes
+	// triggered by eligibility cascades see a consistent tracker. The
+	// iteration order (gpu-major, then tb) is deterministic and identical
+	// across runs; per-GPU relative TB order is identical across GPUs,
+	// which keeps cross-GPU group synchronization deadlock-free.
+	for g := range m.GPUs {
+		for tb := 0; tb < k.Grid; tb++ {
+			m.registerTB(launches[g], g, tb, k.Work(g, tb).In)
+		}
+	}
+}
+
+// Sequence launches kernels one after another with a global barrier
+// between steps (the communication-centric baseline execution mode), then
+// calls onDone.
+func (m *Machine) Sequence(kernels []*kernel.Kernel, onDone func()) {
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(kernels) {
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
+		m.LaunchKernel(kernels[i], func() { step(i + 1) })
+	}
+	step(0)
+}
+
+// LaunchAll launches a set of kernels concurrently (they share the GPU per
+// their SM partitions) and calls onDone when every one of them finished.
+func (m *Machine) LaunchAll(kernels []*kernel.Kernel, onDone func()) {
+	if len(kernels) == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	remaining := len(kernels)
+	for _, k := range kernels {
+		m.LaunchKernel(k, func() {
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone()
+			}
+		})
+	}
+}
+
+func (m *Machine) registerTB(l *gpu.Launch, g, tb int, in []kernel.Tile) {
+	pending := 0
+	var dep *tbDep
+	for _, t := range in {
+		if m.ready[t] {
+			continue
+		}
+		if dep == nil {
+			dep = &tbDep{launch: l, tb: tb}
+		}
+		pending++
+		m.waiters[t] = append(m.waiters[t], dep)
+	}
+	if pending == 0 {
+		l.MarkEligible(tb)
+		return
+	}
+	dep.pending = pending
+}
+
+// PublishTiles marks tiles globally ready and wakes waiting TBs in
+// registration order.
+func (m *Machine) PublishTiles(tiles []kernel.Tile) {
+	for _, t := range tiles {
+		if m.ready[t] {
+			continue
+		}
+		m.ready[t] = true
+		m.PublishedTiles++
+		deps := m.waiters[t]
+		delete(m.waiters, t)
+		for _, d := range deps {
+			d.pending--
+			if d.pending == 0 {
+				d.launch.MarkEligible(d.tb)
+			}
+		}
+	}
+}
+
+// TileReady reports whether a tile has been published.
+func (m *Machine) TileReady(t kernel.Tile) bool { return m.ready[t] }
+
+// OnData implements gpu.DataSink: a data packet committed to HBM at GPU g.
+// Packets carrying a TileTag contribute toward their access's completion;
+// once the required contribution bytes accumulate, the tiles publish.
+func (m *Machine) OnData(g int, p *noc.Packet) {
+	tag, ok := p.Tag.(*gpu.TileTag)
+	if !ok || tag == nil {
+		return
+	}
+	contribs := p.Contribs
+	if contribs < 1 {
+		contribs = 1
+	}
+	m.addContribution(g, tag, int64(contribs)*p.Size)
+}
+
+// OnAccessDone implements gpu.DataSink: one TB's access completed at the
+// issuing GPU. Read accesses publish their tiles directly (the data is now
+// local); local write/reduce accesses count as contributions at this (home)
+// GPU.
+func (m *Machine) OnAccessDone(g int, a kernel.Access) {
+	if a.Sem == kernel.SemRead {
+		m.publishFor(g, a.Publish, a.PublishAt)
+		return
+	}
+	need := a.TileNeed
+	if need <= 0 {
+		need = 1
+	}
+	tag := &gpu.TileTag{Base: a.Addr, NeedBytes: int64(need) * a.Bytes, Publish: a.Publish, PublishAt: a.PublishAt}
+	m.addContribution(g, tag, a.Bytes)
+}
+
+func (m *Machine) addContribution(g int, tag *gpu.TileTag, bytes int64) {
+	key := contribKey{base: tag.Base, gpu: g}
+	st, ok := m.contrib[key]
+	if !ok {
+		st = &contribState{need: tag.NeedBytes}
+		m.contrib[key] = st
+	}
+	if st.need != tag.NeedBytes {
+		panic(fmt.Sprintf("machine: inconsistent contribution need at addr %#x gpu %d: %d vs %d",
+			tag.Base, g, st.need, tag.NeedBytes))
+	}
+	st.got += bytes
+	if st.got < st.need {
+		return
+	}
+	delete(m.contrib, key)
+	m.publishFor(g, tag.Publish, tag.PublishAt)
+}
+
+func (m *Machine) publishFor(g int, tiles []kernel.Tile, perGPU func(int) []kernel.Tile) {
+	if perGPU != nil {
+		m.PublishTiles(perGPU(g))
+		return
+	}
+	m.PublishTiles(tiles)
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"testing"
+
+	"cais/internal/gpu"
+	"cais/internal/kernel"
+	"cais/internal/metrics"
+	"cais/internal/noc"
+	"cais/internal/sim"
+)
+
+func TestLaunchAllEmptyAndSequenceEmpty(t *testing.T) {
+	m := newTestMachine(t, testHW(), Options{})
+	calls := 0
+	m.LaunchAll(nil, func() { calls++ })
+	m.Sequence(nil, func() { calls++ })
+	if calls != 2 {
+		t.Fatalf("empty plans must complete immediately: %d", calls)
+	}
+}
+
+func TestKernelSpansRecorded(t *testing.T) {
+	m := newTestMachine(t, testHW(), Options{})
+	m.Eng.At(0, func() {
+		m.Sequence([]*kernel.Kernel{computeOnly("a", 4, 1e8), computeOnly("b", 4, 1e8)}, nil)
+	})
+	m.Run()
+	if len(m.KernelSpans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(m.KernelSpans))
+	}
+	for _, s := range m.KernelSpans {
+		if s.End <= s.Start {
+			t.Fatalf("span %s has no duration", s.Name)
+		}
+	}
+	if m.KernelSpans[1].Start < m.KernelSpans[0].End {
+		t.Fatal("sequence spans must not overlap")
+	}
+}
+
+func TestContributionInconsistencyPanics(t *testing.T) {
+	m := newTestMachine(t, testHW(), Options{})
+	tag1 := &gpu.TileTag{Base: 99, NeedBytes: 100}
+	tag2 := &gpu.TileTag{Base: 99, NeedBytes: 200}
+	m.addContribution(0, tag1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inconsistent contribution need did not panic")
+		}
+	}()
+	m.addContribution(0, tag2, 10)
+}
+
+func TestOnDataIgnoresUntaggedPackets(t *testing.T) {
+	m := newTestMachine(t, testHW(), Options{})
+	m.OnData(0, &noc.Packet{Op: noc.OpStore, Size: 128}) // no tag: no-op
+	if len(m.contrib) != 0 {
+		t.Fatal("untagged packet created contribution state")
+	}
+}
+
+func TestAttachRecorderCoversAllLinks(t *testing.T) {
+	hw := testHW()
+	m := newTestMachine(t, hw, Options{})
+	rec := metrics.NewUtilSeries(10*sim.Microsecond, len(m.Links()))
+	m.AttachRecorder(rec)
+	m.Eng.At(0, func() {
+		k := buildRSKernel(m, 8, 4<<10, m.NewBuffer(), false)
+		m.LaunchKernel(k, nil)
+	})
+	m.Run()
+	if rec.Mean(0) <= 0 {
+		t.Fatal("recorder saw no traffic despite remote reductions")
+	}
+}
+
+func TestPublishTilesIdempotent(t *testing.T) {
+	m := newTestMachine(t, testHW(), Options{})
+	tl := kernel.Tile{Buf: 5, Idx: 1}
+	m.PublishTiles([]kernel.Tile{tl})
+	n := m.PublishedTiles
+	m.PublishTiles([]kernel.Tile{tl})
+	if m.PublishedTiles != n {
+		t.Fatal("republishing must be a no-op")
+	}
+	if !m.TileReady(tl) {
+		t.Fatal("tile not ready")
+	}
+}

@@ -1,0 +1,300 @@
+// Package machine assembles the simulated multi-GPU system — GPUs, switch
+// planes and the links between them — and drives kernel execution: it owns
+// the global tile tracker that implements TB-level dataflow (consumer TBs
+// become eligible the moment their input tiles are ready), counts
+// reduction contributions at home GPUs, and sequences kernel launches for
+// the execution strategies.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"cais/internal/config"
+	"cais/internal/gpu"
+	"cais/internal/kernel"
+	"cais/internal/noc"
+	"cais/internal/nvswitch"
+	"cais/internal/sim"
+)
+
+// Options tune system assembly beyond the hardware config.
+type Options struct {
+	// TrafficControl enables virtual channels with round-robin
+	// arbitration on every link (full CAIS; CAIS-Partial disables it).
+	TrafficControl bool
+	// UnlimitedMergeTable measures the minimal required table size
+	// (Fig. 13a) by removing the capacity limit.
+	UnlimitedMergeTable bool
+	// MergeTableBytes overrides the hardware per-port capacity when > 0.
+	MergeTableBytes int64
+	// Eviction selects the merge unit's victim policy (default LRU).
+	Eviction nvswitch.EvictionPolicy
+	// NoControlSideband disables the dedicated request/control channel
+	// on every link (design ablation: control packets then share the
+	// data queues and suffer head-of-line blocking).
+	NoControlSideband bool
+}
+
+// Machine is one assembled system plus its execution state.
+type Machine struct {
+	Eng  *sim.Engine
+	HW   config.Hardware
+	Opts Options
+
+	GPUs     []*gpu.GPU
+	Switches []*nvswitch.Switch
+	upLink   [][]*noc.Link // [plane][gpu] GPU->switch
+	downLink [][]*noc.Link // [plane][gpu] switch->GPU
+
+	// Global tile tracker.
+	ready   map[kernel.Tile]bool
+	waiters map[kernel.Tile][]*tbDep
+
+	// Reduction contribution counting at home GPUs.
+	contrib map[contribKey]*contribState
+
+	nextLaunchID  int
+	nextGroupBase int
+	nextAddr      uint64
+	nextBuf       int
+
+	// PublishedTiles counts tile publications (diagnostics).
+	PublishedTiles int64
+
+	// KernelSpans records per-kernel execution windows for reporting:
+	// earliest launch start to latest completion across GPUs.
+	KernelSpans []*KernelSpan
+}
+
+// KernelSpan is one kernel's execution window across all GPUs.
+type KernelSpan struct {
+	Name  string
+	Kind  kernel.Kind
+	Start sim.Time // first launch start
+	End   sim.Time // last GPU's completion
+}
+
+// AttachRecorder installs a busy-interval observer on every link in the
+// fabric (utilization-over-time measurements, Fig. 16).
+func (m *Machine) AttachRecorder(r noc.BusyRecorder) {
+	for _, l := range m.Links() {
+		l.SetRecorder(r)
+	}
+}
+
+type contribKey struct {
+	base uint64
+	gpu  int
+}
+
+type contribState struct {
+	need int64
+	got  int64
+}
+
+// tbDep tracks one TB instance's unsatisfied input count.
+type tbDep struct {
+	launch  *gpu.Launch
+	tb      int
+	pending int
+}
+
+// New assembles a machine for the hardware configuration.
+func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
+	if err := hw.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		Eng: eng, HW: hw, Opts: opts,
+		ready:   make(map[kernel.Tile]bool),
+		waiters: make(map[kernel.Tile][]*tbDep),
+		contrib: make(map[contribKey]*contribState),
+		// Address 0 is reserved so a zero Access is always a bug.
+		nextAddr: 1,
+	}
+	planeOf := func(addr uint64) int { return int(addr % uint64(hw.NumSwitchPlanes)) }
+	for g := 0; g < hw.NumGPUs; g++ {
+		m.GPUs = append(m.GPUs, gpu.New(eng, g, hw, planeOf, m))
+	}
+	capacity := hw.MergeTableBytes
+	if opts.MergeTableBytes > 0 {
+		capacity = opts.MergeTableBytes
+	}
+	if opts.UnlimitedMergeTable {
+		capacity = -1
+	}
+	planeBW := hw.PlaneBandwidth()
+	for pl := 0; pl < hw.NumSwitchPlanes; pl++ {
+		sw := nvswitch.New(eng, nvswitch.Config{
+			NumGPUs: hw.NumGPUs, Plane: pl,
+			SwitchLatency: hw.SwitchLatency,
+			MergeCapacity: capacity,
+			MergeTimeout:  hw.MergeTimeout,
+			CreditLatency: hw.LinkLatency,
+			Eviction:      opts.Eviction,
+		})
+		m.Switches = append(m.Switches, sw)
+		ups := make([]*noc.Link, hw.NumGPUs)
+		downs := make([]*noc.Link, hw.NumGPUs)
+		for g := 0; g < hw.NumGPUs; g++ {
+			up := noc.NewLink(eng, fmt.Sprintf("g%d->sw%d", g, pl), planeBW, hw.LinkLatency, sw)
+			down := noc.NewLink(eng, fmt.Sprintf("sw%d->g%d", pl, g), planeBW, hw.LinkLatency, m.GPUs[g])
+			up.SetVirtualChannels(opts.TrafficControl)
+			down.SetVirtualChannels(opts.TrafficControl)
+			up.SetControlSideband(!opts.NoControlSideband)
+			down.SetControlSideband(!opts.NoControlSideband)
+			m.GPUs[g].ConnectUp(pl, up)
+			sw.ConnectDown(g, down)
+			ups[g], downs[g] = up, down
+		}
+		m.upLink = append(m.upLink, ups)
+		m.downLink = append(m.downLink, downs)
+	}
+	return m
+}
+
+// UpLink returns the GPU->switch link for (plane, gpu).
+func (m *Machine) UpLink(plane, g int) *noc.Link { return m.upLink[plane][g] }
+
+// DownLink returns the switch->GPU link for (plane, gpu).
+func (m *Machine) DownLink(plane, g int) *noc.Link { return m.downLink[plane][g] }
+
+// Links yields every link in the fabric (both directions).
+func (m *Machine) Links() []*noc.Link {
+	var out []*noc.Link
+	for pl := range m.upLink {
+		out = append(out, m.upLink[pl]...)
+		out = append(out, m.downLink[pl]...)
+	}
+	return out
+}
+
+// AllocAddrs reserves n consecutive address keys (one per request chunk)
+// and returns the base.
+func (m *Machine) AllocAddrs(n int) uint64 {
+	if n < 1 {
+		n = 1
+	}
+	base := m.nextAddr
+	m.nextAddr += uint64(n)
+	return base
+}
+
+// AddrsFor reports how many address keys an access of the given byte size
+// occupies at the machine's request granularity.
+func (m *Machine) AddrsFor(bytes int64) int {
+	rb := m.HW.RequestBytes
+	if rb <= 0 || bytes <= 0 {
+		return 1
+	}
+	return int((bytes + rb - 1) / rb)
+}
+
+// NewBuffer allocates a tile-buffer ID.
+func (m *Machine) NewBuffer() int {
+	m.nextBuf++
+	return m.nextBuf
+}
+
+// SwitchStats folds the per-plane switch statistics.
+func (m *Machine) SwitchStats() nvswitch.Stats {
+	total := nvswitch.NewStats()
+	acc := *total
+	for _, sw := range m.Switches {
+		acc = acc.Merge(sw.Stats())
+	}
+	return acc
+}
+
+// MergeTableHighWater reports the largest per-port merging-table occupancy
+// across all planes and ports.
+func (m *Machine) MergeTableHighWater() int64 {
+	var hwm int64
+	for _, sw := range m.Switches {
+		for g := 0; g < m.HW.NumGPUs; g++ {
+			if v := sw.Port(g).HighWater(); v > hwm {
+				hwm = v
+			}
+		}
+	}
+	return hwm
+}
+
+// DirectionTraffic reports total wire bytes carried upstream (GPU->switch)
+// and downstream (switch->GPU) — the asymmetric-traffic decomposition of
+// Fig. 10.
+func (m *Machine) DirectionTraffic() (up, down int64) {
+	for pl := range m.upLink {
+		for g := range m.upLink[pl] {
+			up += m.upLink[pl][g].BytesSent()
+			down += m.downLink[pl][g].BytesSent()
+		}
+	}
+	return up, down
+}
+
+// DirectionBusy reports the accumulated serialization time per direction,
+// summed across links.
+func (m *Machine) DirectionBusy() (up, down sim.Time) {
+	for pl := range m.upLink {
+		for g := range m.upLink[pl] {
+			up += m.upLink[pl][g].BusyTime()
+			down += m.downLink[pl][g].BusyTime()
+		}
+	}
+	return up, down
+}
+
+// AvgLinkUtilization reports the mean busy fraction across every link and
+// both directions over [0, horizon] (Fig. 15's metric).
+func (m *Machine) AvgLinkUtilization(horizon sim.Time) float64 {
+	links := m.Links()
+	if len(links) == 0 || horizon <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range links {
+		sum += l.Utilization(horizon)
+	}
+	return sum / float64(len(links))
+}
+
+// Run drains the event queue and returns the final simulated time.
+func (m *Machine) Run() sim.Time { return m.Eng.Run() }
+
+// CheckQuiescent reports an error when the machine stopped with
+// unsatisfied dependencies — a deadlock or a miswired workload.
+func (m *Machine) CheckQuiescent() error {
+	var stuck []string
+	for t, deps := range m.waiters {
+		live := 0
+		for _, d := range deps {
+			if d.pending > 0 {
+				live++
+			}
+		}
+		if live > 0 {
+			stuck = append(stuck, fmt.Sprintf("tile{buf=%d idx=%d}: %d TBs waiting", t.Buf, t.Idx, live))
+		}
+	}
+	for _, g := range m.GPUs {
+		if n := g.Synchronizer().Pending(); n > 0 {
+			stuck = append(stuck, fmt.Sprintf("gpu%d: %d sync waits pending", g.ID, n))
+		}
+		if n := g.ActiveLaunches(); n > 0 {
+			stuck = append(stuck, fmt.Sprintf("gpu%d: %d launches unfinished", g.ID, n))
+		}
+	}
+	if n := len(m.contrib); n > 0 {
+		stuck = append(stuck, fmt.Sprintf("%d reduction contributions incomplete", n))
+	}
+	if len(stuck) == 0 {
+		return nil
+	}
+	sort.Strings(stuck)
+	if len(stuck) > 12 {
+		stuck = append(stuck[:12], "...")
+	}
+	return fmt.Errorf("machine not quiescent: %v", stuck)
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cais/internal/sim"
+)
+
+func TestUtilSeriesBinsIntervals(t *testing.T) {
+	s := NewUtilSeries(10*sim.Microsecond, 1)
+	// Busy 5us in bin 0, spanning interval into bin 1.
+	s.RecordBusy(5*sim.Microsecond, 15*sim.Microsecond, 0)
+	u := s.Utilization()
+	if len(u) != 2 {
+		t.Fatalf("bins = %d, want 2", len(u))
+	}
+	if u[0] != 0.5 || u[1] != 0.5 {
+		t.Fatalf("utilization = %v, want [0.5 0.5]", u)
+	}
+}
+
+func TestUtilSeriesMultiLinkNormalization(t *testing.T) {
+	s := NewUtilSeries(10*sim.Microsecond, 2)
+	s.RecordBusy(0, 10*sim.Microsecond, 0) // link A fully busy
+	u := s.Utilization()
+	if u[0] != 0.5 {
+		t.Fatalf("two-link normalization: %v, want 0.5", u[0])
+	}
+}
+
+func TestUtilSeriesConservesBusyTime(t *testing.T) {
+	f := func(intervals []uint16) bool {
+		s := NewUtilSeries(7*sim.Microsecond, 1)
+		var total sim.Time
+		at := sim.Time(0)
+		for _, d := range intervals {
+			dur := sim.Time(d) * sim.Nanosecond
+			s.RecordBusy(at, at+dur, 0)
+			total += dur
+			at += dur + sim.Microsecond
+		}
+		var binned sim.Time
+		for _, b := range s.busy {
+			binned += b
+		}
+		return binned == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilSeriesMean(t *testing.T) {
+	s := NewUtilSeries(10*sim.Microsecond, 1)
+	s.RecordBusy(0, 10*sim.Microsecond, 0)
+	s.RecordBusy(10*sim.Microsecond, 15*sim.Microsecond, 0)
+	if got := s.Mean(0); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("mean = %v, want 0.75", got)
+	}
+	if got := s.Mean(1); got != 1.0 {
+		t.Fatalf("mean(1) = %v, want 1.0", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{1.5, 0, -2}); math.Abs(g-1.5) > 1e-9 {
+		t.Fatalf("geomean skips non-positive: %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. X", "name", "value")
+	tb.AddRow("alpha", "1.00")
+	tb.Addf("beta", 2.5, sim.Microsecond)
+	out := tb.String()
+	for _, want := range []string{"Fig. X", "name", "alpha", "beta", "2.5", "1.000us", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestUtilSeriesRejectsBadBin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bin width accepted")
+		}
+	}()
+	NewUtilSeries(0, 1)
+}

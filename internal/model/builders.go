@@ -1,0 +1,472 @@
+package model
+
+import (
+	"fmt"
+
+	"cais/internal/compiler"
+	"cais/internal/kernel"
+	"cais/internal/machine"
+	"cais/internal/noc"
+)
+
+// Builder lowers operators into kernels on a machine. It owns the tile
+// buffer and address-space allocation so kernels built for the same
+// machine never collide.
+type Builder struct {
+	M    *machine.Machine
+	Elem int64 // element width in bytes
+	P    int   // TP degree (machine GPU count)
+}
+
+// NewBuilder creates a builder for a machine.
+func NewBuilder(m *machine.Machine) *Builder {
+	return &Builder{M: m, Elem: int64(m.HW.ElemBytes), P: m.HW.NumGPUs}
+}
+
+// NewSharded allocates a sequence-sharded tensor handle for rows rows.
+func (b *Builder) NewSharded(rows int) Sharded {
+	return Sharded{Buf: b.M.NewBuffer(), MTiles: MTiles(rows), P: b.P}
+}
+
+// NewGathered allocates a per-GPU replicated tensor handle.
+func (b *Builder) NewGathered(rows int) Gathered {
+	return Gathered{Buf: b.M.NewBuffer(), MTiles: MTiles(rows), P: b.P}
+}
+
+// NewLocalGrid allocates a per-GPU tile-grid handle.
+func (b *Builder) NewLocalGrid(rows, cols int) LocalGrid {
+	return LocalGrid{Buf: b.M.NewBuffer(), MTiles: MTiles(rows), NTiles: NTiles(cols), P: b.P}
+}
+
+// NewParts allocates a reduced-parts handle (tile grid without a GPU
+// dimension: block (mi, ni) lives at the row owner).
+func (b *Builder) NewParts(rows, cols int) LocalGrid {
+	return LocalGrid{Buf: b.M.NewBuffer(), MTiles: MTiles(rows), NTiles: NTiles(cols), P: 1}
+}
+
+// gemmTB fills the compute cost of one 128x128xK GEMM thread block.
+func (b *Builder) gemmTB(k int, scale float64) (flops float64, localBytes int64) {
+	flops = 2 * float64(TileM) * float64(TileN) * float64(k) * scale
+	bytes := (int64(TileM)*int64(k) + int64(k)*int64(TileN) + int64(TileM)*int64(TileN)) * b.Elem
+	return flops, bytes / l2Reuse
+}
+
+// rowBytes is the size of one TileM-row block of a width-cols tensor.
+func (b *Builder) rowBytes(cols int) int64 {
+	return int64(TileM) * int64(cols) * b.Elem
+}
+
+// tileBytes is the size of one TileM x TileN block.
+func (b *Builder) tileBytes() int64 {
+	return int64(TileM) * int64(TileN) * b.Elem
+}
+
+// Coordination selects which merging-aware TB coordination mechanisms a
+// fused CAIS kernel uses (the Fig. 13b ablation axes).
+type Coordination struct {
+	PreLaunch bool // pre-launch TB-group synchronization
+	PreAccess bool // pre-access synchronization
+	Throttle  bool // TB-aware request throttling
+}
+
+// FullCoordination enables every mechanism.
+func FullCoordination() Coordination {
+	return Coordination{PreLaunch: true, PreAccess: true, Throttle: true}
+}
+
+// InTiles wires a consumer kernel's TB inputs; implementations close over
+// the producer handles chosen by the strategy.
+type InTiles func(gpu, mi, ni int) []kernel.Tile
+
+// NoInputs is the empty dependency wiring.
+func NoInputs(gpu, mi, ni int) []kernel.Tile { return nil }
+
+// GEMM builds a pure-local GEMM kernel (column-parallel GEMMs whose input
+// is already local, weight-gradient GEMMs, attention projections):
+// M x nLocal output, contraction over k.
+func (b *Builder) GEMM(name string, m, nLocal, k int, scale float64, in InTiles, out LocalGrid) *kernel.Kernel {
+	mT, nT := MTiles(m), NTiles(nLocal)
+	flops, localBytes := b.gemmTB(k, scale)
+	return &kernel.Kernel{
+		Name: name, Kind: kernel.KindGEMM, Grid: mT * nT,
+		Work: func(g, tb int) kernel.TBDesc {
+			mi, ni := tb/nT, tb%nT
+			return kernel.TBDesc{
+				Flops: flops, LocalBytes: localBytes, Group: -1,
+				In:  in(g, mi, ni),
+				Out: []kernel.Tile{out.Tile(mi, ni, g)},
+			}
+		},
+	}
+}
+
+// GatherMode selects how a fused gather-GEMM brings remote rows in.
+type GatherMode int
+
+const (
+	// GatherCAIS uses ld.cais merged loads (compute-aware in-switch
+	// computing): the switch fetches each row block once and replicates
+	// it to all requesters.
+	GatherCAIS GatherMode = iota
+	// GatherP2P uses plain loads with a per-GPU loader TB: every GPU
+	// fetches every remote block once (no in-switch merging).
+	GatherP2P
+	// GatherPerTB uses plain loads issued by every consuming TB (LADM:
+	// locality-aware TB scheduling without in-switch computing or
+	// gather staging) — remote operand rows are re-fetched by each
+	// column tile's TB.
+	GatherPerTB
+)
+
+// FusedAGGEMM builds the compute-aware AG-GEMM kernel (Fig. 1k): the GEMM
+// reads remote rows directly, following its memory-semantic requirement.
+// TB (mi, 0) is the block's loader: it issues the (mergeable) load for row
+// block mi and publishes the local copy; TBs (mi, ni>0) consume the copy.
+// src holds the gathered operand (width k); out is the M x nLocal result.
+func (b *Builder) FusedAGGEMM(name string, src Sharded, m, nLocal, k int, scale float64,
+	mode GatherMode, coord Coordination, out LocalGrid) *kernel.Kernel {
+
+	mT, nT := MTiles(m), NTiles(nLocal)
+	if src.MTiles != mT {
+		panic(fmt.Sprintf("model: %s: src has %d row blocks, GEMM needs %d", name, src.MTiles, mT))
+	}
+	rowBytes := b.rowBytes(k)
+	addrsPerRow := b.M.AddrsFor(rowBytes)
+	base := b.M.AllocAddrs(mT * addrsPerRow)
+	copies := b.NewGathered(m)
+	var perTBBase uint64
+	if mode == GatherPerTB {
+		perTBBase = b.M.AllocAddrs(b.P * mT * nT * addrsPerRow)
+	}
+
+	// The symbolic pattern the CAIS compiler analyzes: the load address
+	// depends only on blockIdx (row block = blockIdx / nTiles), so the
+	// instruction is GPU-invariant and mergeable (Fig. 8a).
+	pattern := kernel.Pattern{
+		Name: "ld." + name, Sem: kernel.SemRead,
+		Addr: kernel.Add(kernel.Const(int64(base)),
+			kernel.Mul(kernel.Div(kernel.ParamBlock, kernel.Const(int64(nT))), kernel.Const(int64(addrsPerRow)))),
+		Home: kernel.Mod(
+			kernel.Div(kernel.ParamBlock, kernel.Const(int64(nT))),
+			kernel.Const(int64(b.P))),
+		Bytes: rowBytes,
+	}
+	loadOp := noc.OpLoad
+	if mode == GatherCAIS {
+		v := compiler.Analyze(pattern)
+		if !v.Mergeable {
+			panic(fmt.Sprintf("model: %s: compiler rejected CAIS lowering: %s", name, v.Reason))
+		}
+		loadOp = v.Mode
+	}
+	// TB groups: one per blockIdx, one TB per GPU (the compiler's launch
+	// metadata, Sec. III-B-1).
+	groups := compiler.BuildGroups(mT*nT, b.P)
+
+	flops, localBytes := b.gemmTB(k, scale)
+	peers := b.P - 1
+	if coord.Throttle {
+		// The owner's TB joins the group too (TB-aware throttling keeps
+		// every GPU locked to its group).
+		peers = b.P
+	}
+	return &kernel.Kernel{
+		Name: name, Kind: kernel.KindGEMM, Grid: mT * nT,
+		Patterns:      []kernel.Pattern{pattern},
+		PreLaunchSync: coord.PreLaunch && mode == GatherCAIS,
+		PreAccessSync: coord.PreAccess && mode == GatherCAIS,
+		Throttled:     coord.Throttle && mode == GatherCAIS,
+		Work: func(g, tb int) kernel.TBDesc {
+			mi, ni := tb/nT, tb%nT
+			d := kernel.TBDesc{
+				Flops: flops, LocalBytes: localBytes,
+				Group: groups.GroupOf(tb), GroupPeers: peers,
+				Out: []kernel.Tile{out.Tile(mi, ni, g)},
+			}
+			owner := src.Owner(mi)
+			if mode == GatherPerTB {
+				// Every TB fetches its operand rows itself: no copy
+				// staging, no merging — the redundant-traffic mode.
+				acc := kernel.Access{
+					Sem: kernel.SemRead, Addr: 0, Home: owner, Bytes: rowBytes,
+				}
+				// Per-(gpu, tb) unique address range so nothing merges.
+				acc.Addr = perTBBase + uint64(g*mT*nT+tb)*uint64(addrsPerRow)
+				if owner == g {
+					acc.Mode = noc.OpLoad
+					acc.Local = true
+				} else {
+					acc.Mode = noc.OpLoad
+				}
+				d.Pre = []kernel.Access{acc}
+				d.In = []kernel.Tile{src.Tile(mi)}
+				return d
+			}
+			if ni != 0 {
+				d.In = []kernel.Tile{copies.Tile(mi, g)}
+				return d
+			}
+			addr := uint64(pattern.Addr.Eval(kernel.Env{GPU: int64(g), BlockIdx: int64(tb)}))
+			acc := kernel.Access{
+				Sem: kernel.SemRead, Addr: addr, Home: owner, Bytes: rowBytes,
+				Publish: []kernel.Tile{copies.Tile(mi, g)},
+			}
+			if owner == g {
+				acc.Mode = noc.OpLoad
+				acc.Local = true
+			} else {
+				acc.Mode = loadOp
+				acc.Expected = b.P - 1
+			}
+			d.Pre = []kernel.Access{acc}
+			d.In = []kernel.Tile{src.Tile(mi)}
+			return d
+		},
+	}
+}
+
+// ReduceMode selects how a fused GEMM-reduce writes its partial tiles out.
+type ReduceMode int
+
+const (
+	// ReduceCAIS uses red.cais merged reductions: the switch accumulates
+	// all contributions and writes one result to the row owner.
+	ReduceCAIS ReduceMode = iota
+	// ReduceP2PStore pushes each partial tile directly to the row owner,
+	// which reduces locally (T3's DMA track-and-trigger).
+	ReduceP2PStore
+	// ReduceNVLSPush pushes partials through the NVLS unit's multimem.red
+	// (T3-NVLS's DMA-based NVLS design): in-switch reduction with the
+	// pre-existing NVLS buffers, but no merge-table/coordination machinery.
+	ReduceNVLSPush
+)
+
+// FusedGEMMRS builds the compute-aware GEMM-RS kernel: each TB computes a
+// partial output tile and immediately issues its reduction toward the row
+// owner, following the write semantics of the computation. parts receives
+// the reduced blocks (parts.Tile(mi, ni, 0) publishes at the owner when
+// all P contributions have landed). n is the full output width; kLocal the
+// per-GPU contraction shard.
+func (b *Builder) FusedGEMMRS(name string, m, n, kLocal int, scale float64, in InTiles,
+	mode ReduceMode, coord Coordination, red Sharded, parts LocalGrid) *kernel.Kernel {
+
+	mT, nT := MTiles(m), NTiles(n)
+	if parts.MTiles != mT || parts.NTiles != nT || parts.P != 1 {
+		panic(fmt.Sprintf("model: %s: parts handle mismatch", name))
+	}
+	tileBytes := b.tileBytes()
+	addrsPerTile := b.M.AddrsFor(tileBytes)
+	base := b.M.AllocAddrs(mT * nT * addrsPerTile)
+
+	pattern := kernel.Pattern{
+		Name: "red." + name, Sem: kernel.SemReduce,
+		Addr: kernel.Add(kernel.Const(int64(base)),
+			kernel.Mul(kernel.ParamBlock, kernel.Const(int64(addrsPerTile)))),
+		Home: kernel.Mod(
+			kernel.Div(kernel.ParamBlock, kernel.Const(int64(nT))),
+			kernel.Const(int64(b.P))),
+		Bytes: tileBytes,
+	}
+	redOp := noc.OpStore
+	switch mode {
+	case ReduceCAIS:
+		v := compiler.Analyze(pattern)
+		if !v.Mergeable {
+			panic(fmt.Sprintf("model: %s: compiler rejected CAIS lowering: %s", name, v.Reason))
+		}
+		redOp = v.Mode
+	case ReduceNVLSPush:
+		redOp = noc.OpMultimemRed
+	}
+
+	flops, localBytes := b.gemmTB(kLocal, scale)
+	peers := b.P - 1
+	if coord.Throttle {
+		peers = b.P
+	}
+	groups := compiler.BuildGroups(mT*nT, b.P)
+	return &kernel.Kernel{
+		Name: name, Kind: kernel.KindGEMM, Grid: mT * nT,
+		Patterns:      []kernel.Pattern{pattern},
+		PreLaunchSync: coord.PreLaunch && mode == ReduceCAIS,
+		PreAccessSync: coord.PreAccess && mode == ReduceCAIS,
+		Throttled:     coord.Throttle && mode == ReduceCAIS,
+		Work: func(g, tb int) kernel.TBDesc {
+			mi, ni := tb/nT, tb%nT
+			owner := red.Owner(mi)
+			addr := uint64(pattern.Addr.Eval(kernel.Env{GPU: int64(g), BlockIdx: int64(tb)}))
+			acc := kernel.Access{
+				Sem: kernel.SemReduce, Addr: addr, Home: owner, Bytes: tileBytes,
+				TileNeed: b.P,
+				Publish:  []kernel.Tile{parts.Tile(mi, ni, 0)},
+			}
+			if owner == g {
+				acc.Mode = noc.OpStore
+				acc.Local = true
+			} else {
+				acc.Mode = redOp
+				acc.Expected = b.P - 1
+			}
+			return kernel.TBDesc{
+				Flops: flops, LocalBytes: localBytes,
+				Group: groups.GroupOf(tb), GroupPeers: peers,
+				In:   in(g, mi, ni),
+				Post: []kernel.Access{acc},
+			}
+		},
+	}
+}
+
+// FusedGEMMAR builds the compute-aware GEMM-AR kernel of the paper's
+// Fig. 1(h) combination table (an extension beyond the evaluated SP
+// pipelines): each TB computes a partial output tile and issues a
+// broadcast red.cais — the merge unit accumulates all P contributions and
+// writes the reduced tile to every GPU's replica. out.Tile(mi, ni, g)
+// publishes at GPU g when its reduced copy lands.
+func (b *Builder) FusedGEMMAR(name string, m, n, kLocal int, scale float64, in InTiles,
+	coord Coordination, out LocalGrid) *kernel.Kernel {
+
+	mT, nT := MTiles(m), NTiles(n)
+	tileBytes := b.tileBytes()
+	addrsPerTile := b.M.AddrsFor(tileBytes)
+	base := b.M.AllocAddrs(mT * nT * addrsPerTile)
+
+	pattern := kernel.Pattern{
+		Name: "red." + name, Sem: kernel.SemReduce,
+		Addr: kernel.Add(kernel.Const(int64(base)),
+			kernel.Mul(kernel.ParamBlock, kernel.Const(int64(addrsPerTile)))),
+		Home: kernel.Mod(
+			kernel.Div(kernel.ParamBlock, kernel.Const(int64(nT))),
+			kernel.Const(int64(b.P))),
+		Bytes: tileBytes,
+	}
+	v := compiler.Analyze(pattern)
+	if !v.Mergeable {
+		panic(fmt.Sprintf("model: %s: compiler rejected CAIS lowering: %s", name, v.Reason))
+	}
+
+	flops, localBytes := b.gemmTB(kLocal, scale)
+	groups := compiler.BuildGroups(mT*nT, b.P)
+	return &kernel.Kernel{
+		Name: name, Kind: kernel.KindGEMM, Grid: mT * nT,
+		Patterns:      []kernel.Pattern{pattern},
+		PreLaunchSync: coord.PreLaunch,
+		PreAccessSync: coord.PreAccess,
+		Throttled:     coord.Throttle,
+		Work: func(g, tb int) kernel.TBDesc {
+			mi, ni := tb/nT, tb%nT
+			// All P GPUs contribute through the switch; the reduced tile
+			// broadcasts back to every replica.
+			acc := kernel.Access{
+				Sem: kernel.SemReduce, Mode: v.Mode,
+				Addr: uint64(pattern.Addr.Eval(kernel.Env{GPU: int64(g), BlockIdx: int64(tb)})),
+				Home: mi % b.P, Bytes: tileBytes,
+				Expected: b.P, TileNeed: b.P, Broadcast: true,
+				PublishAt: func(recv int) []kernel.Tile {
+					return []kernel.Tile{out.Tile(mi, ni, recv)}
+				},
+			}
+			return kernel.TBDesc{
+				Flops: flops, LocalBytes: localBytes,
+				Group: groups.GroupOf(tb), GroupPeers: b.P,
+				In:   in(g, mi, ni),
+				Post: []kernel.Access{acc},
+			}
+		},
+	}
+}
+
+// ShardedRowOp builds a sequence-sharded row-wise kernel (LN, dropout/add
+// under SP): GPU g processes only the row blocks it owns; its TB publishes
+// the block's sharded tile. in wires the dependencies of an owned block
+// (ni is always 0 for row ops).
+func (b *Builder) ShardedRowOp(name string, kind kernel.Kind, rows, cols int, in InTiles, out Sharded) *kernel.Kernel {
+	mT := MTiles(rows)
+	if out.MTiles != mT {
+		panic(fmt.Sprintf("model: %s: out has %d blocks, op needs %d", name, out.MTiles, mT))
+	}
+	bytes := 3 * b.rowBytes(cols) // read, normalize, write
+	return &kernel.Kernel{
+		Name: name, Kind: kind, Grid: mT,
+		Work: func(g, tb int) kernel.TBDesc {
+			if out.Owner(tb) != g {
+				return kernel.TBDesc{Group: -1}
+			}
+			return kernel.TBDesc{
+				LocalBytes: bytes, Group: -1,
+				In:  in(g, tb, 0),
+				Out: []kernel.Tile{out.Tile(tb)},
+			}
+		},
+	}
+}
+
+// ReplicatedRowOp builds a replicated row-wise kernel (LN under Basic TP):
+// every GPU processes every row block on its own copy.
+func (b *Builder) ReplicatedRowOp(name string, kind kernel.Kind, rows, cols int, in InTiles, out Gathered) *kernel.Kernel {
+	mT := MTiles(rows)
+	bytes := 3 * b.rowBytes(cols)
+	return &kernel.Kernel{
+		Name: name, Kind: kind, Grid: mT,
+		Work: func(g, tb int) kernel.TBDesc {
+			return kernel.TBDesc{
+				LocalBytes: bytes, Group: -1,
+				In:  in(g, tb, 0),
+				Out: []kernel.Tile{out.Tile(tb, g)},
+			}
+		},
+	}
+}
+
+// LocalRowOp builds a per-GPU row-wise elementwise kernel over a local
+// grid (GeLU on the column-parallel FFN activation): GPU g transforms its
+// own shard in place.
+func (b *Builder) LocalRowOp(name string, rows, colsLocal int, in InTiles, out LocalGrid) *kernel.Kernel {
+	mT := MTiles(rows)
+	nT := out.NTiles
+	bytes := 2 * int64(TileM) * int64(TileN) * b.Elem
+	return &kernel.Kernel{
+		Name: name, Kind: kernel.KindElemwise, Grid: mT * nT,
+		Work: func(g, tb int) kernel.TBDesc {
+			mi, ni := tb/nT, tb%nT
+			return kernel.TBDesc{
+				LocalBytes: bytes, Group: -1,
+				In:  in(g, mi, ni),
+				Out: []kernel.Tile{out.Tile(mi, ni, g)},
+			}
+		},
+	}
+}
+
+// Attention builds the head-local attention kernel: per (batch, local
+// head, query block) TBs computing scores and context against the full
+// K/V sequence. qkv is the QKV projection's local output grid (column ni
+// indexes heads); out receives the context blocks.
+func (b *Builder) Attention(name string, batch, headsLocal, seq, headDim int, scale float64,
+	qkv LocalGrid, out LocalGrid) *kernel.Kernel {
+
+	sT := MTiles(seq)
+	grid := batch * headsLocal * sT
+	flopsPerTB := 4 * float64(TileM) * float64(seq) * float64(headDim) * scale
+	bytesPerTB := (2*int64(seq)*int64(headDim) + int64(TileM)*int64(seq)) * b.Elem / l2Reuse
+	return &kernel.Kernel{
+		Name: name, Kind: kernel.KindAttention, Grid: grid,
+		Work: func(g, tb int) kernel.TBDesc {
+			bIdx := tb / (headsLocal * sT)
+			h := (tb / sT) % headsLocal
+			mi := tb % sT
+			ni := h % qkv.NTiles
+			// The query block depends on its own QKV rows plus the full
+			// K/V column of its head (token rows of this batch element).
+			in := make([]kernel.Tile, 0, sT)
+			for mj := 0; mj < sT; mj++ {
+				in = append(in, qkv.Tile(bIdx*sT+mj, ni, g))
+			}
+			return kernel.TBDesc{
+				Flops: flopsPerTB, LocalBytes: bytesPerTB, Group: -1,
+				In:  in,
+				Out: []kernel.Tile{out.Tile(bIdx*sT+mi, h%out.NTiles, g)},
+			}
+		},
+	}
+}

@@ -1,0 +1,498 @@
+package nvswitch
+
+import (
+	"fmt"
+
+	"cais/internal/noc"
+	"cais/internal/sim"
+)
+
+// SessionState is the state a merging-table entry tracks (Fig. 5).
+type SessionState int
+
+const (
+	// LoadWait: a load session whose fetch to the home GPU is in flight.
+	LoadWait SessionState = iota
+	// LoadReady: the fetched data is cached in the content array.
+	LoadReady
+	// Reduction: an accumulating red.cais session.
+	Reduction
+)
+
+func (st SessionState) String() string {
+	switch st {
+	case LoadWait:
+		return "Load-Wait"
+	case LoadReady:
+		return "Load-Ready"
+	case Reduction:
+		return "Reduction"
+	}
+	return fmt.Sprintf("state(%d)", int(st))
+}
+
+// session is one merging-table entry: the CAM lookup table is the sessions
+// map (associative search by address+type), the merging table is the entry
+// contents (state, count, content-array bytes).
+type session struct {
+	addr     uint64
+	state    SessionState
+	size     int64 // content-array occupancy in bytes
+	count    int   // merged requests (loads) or contributions (reductions)
+	expected int
+	bcast    bool // broadcast the merged result to all GPUs (GEMM-AR)
+	pinned   bool // temporarily not evictable (growing in place)
+	group    int
+	waiters  []*noc.Packet // load requesters pending the fetch
+	first    sim.Time      // first request arrival
+	lru      sim.Time      // last access (LRU stamp + timeout base)
+	flush    bool          // evict as soon as the pending response arrives
+	tag      interface{}
+	onDone   []func() // reduction contributors' completions
+}
+
+// ArrivalHook, when set, observes every red.cais arrival (diagnostics).
+var ArrivalHook func(addr uint64, src int, t sim.Time)
+
+// loadMetaBytes is the merging-table footprint of a Load-Wait entry: the
+// CAM entry plus request metadata in the content array. The fetched data
+// itself occupies the table only from response arrival (Load-Ready) until
+// the entry releases — matching the Fig. 5 design where the content array
+// caches arriving data, not outstanding requests.
+const loadMetaBytes = 128
+
+// mergeRespTag routes a home-GPU fetch response back to its session.
+type mergeRespTag struct {
+	unit *MergeUnit
+	addr uint64
+	orig interface{}
+}
+
+// EvictionPolicy selects the victim-selection rule under capacity
+// pressure. The paper uses LRU; the alternatives exist for the design
+// ablation (DESIGN.md: ablation benches for called-out design choices).
+type EvictionPolicy int
+
+const (
+	// EvictLRU evicts the least-recently-used evictable entry (paper).
+	EvictLRU EvictionPolicy = iota
+	// EvictFIFO evicts the oldest evictable entry by insertion.
+	EvictFIFO
+	// EvictMRU evicts the most-recently-used evictable entry (an
+	// adversarial policy for the ablation).
+	EvictMRU
+)
+
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictFIFO:
+		return "fifo"
+	case EvictMRU:
+		return "mru"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// MergeUnit is the per-port CAIS merge unit (Fig. 5): a CAM lookup table
+// plus merging table with byte-capacity accounting, LRU eviction and a
+// timeout-based forward-progress mechanism (Sec. III-A-4).
+type MergeUnit struct {
+	name          string
+	gpu           int // the GPU this port faces (the home side)
+	eng           *sim.Engine
+	capacity      int64 // bytes; negative = unlimited
+	timeout       sim.Time
+	sessions      map[uint64]*session
+	order         []uint64 // insertion/access order for deterministic LRU scan
+	used          int64
+	hwm           int64
+	stats         *Stats
+	sendDown      func(gpu int, p *noc.Packet)
+	creditLatency sim.Time
+	policy        EvictionPolicy
+	numGPUs       int
+	nextID        uint64
+}
+
+func newMergeUnit(eng *sim.Engine, name string, capacity int64, timeout sim.Time, stats *Stats) *MergeUnit {
+	return &MergeUnit{
+		name: name, eng: eng, capacity: capacity, timeout: timeout,
+		sessions: make(map[uint64]*session), stats: stats,
+	}
+}
+
+// Used reports current content-array occupancy in bytes.
+func (m *MergeUnit) Used() int64 { return m.used }
+
+// HighWater reports the maximum occupancy observed; with unlimited
+// capacity this is the "minimal required merge table size" of Fig. 13a.
+func (m *MergeUnit) HighWater() int64 { return m.hwm }
+
+// Sessions reports the number of live entries.
+func (m *MergeUnit) Sessions() int { return len(m.sessions) }
+
+func (m *MergeUnit) id() uint64 {
+	m.nextID++
+	return m.nextID
+}
+
+// credit returns the acceptance feedback to the issuing GPU's throttle.
+func (m *MergeUnit) credit(p *noc.Packet) {
+	if p.OnAccepted == nil {
+		return
+	}
+	fn := p.OnAccepted
+	m.eng.After(m.creditLatency, fn)
+}
+
+// HandleLoad implements Micro-Function 1 (load request merging).
+func (m *MergeUnit) HandleLoad(p *noc.Packet) {
+	m.stats.noteArrivalKind(p.Addr, p.Expected(), m.eng.Now(), true)
+	m.credit(p)
+	now := m.eng.Now()
+	if s, ok := m.sessions[p.Addr]; ok && s.state != Reduction {
+		// CAM hit on an active load session.
+		s.count++
+		s.lru = now
+		switch s.state {
+		case LoadWait:
+			// Data still pending: append the request metadata to the
+			// content array for a deferred response.
+			s.waiters = append(s.waiters, p)
+			m.stats.MergedLoads++
+		case LoadReady:
+			// Serve immediately from cached data.
+			m.stats.MergedLoads++
+			m.respond(s, p)
+			if s.count >= s.expected {
+				m.release(s)
+			}
+		}
+		return
+	}
+	// Miss: allocate a new entry (Load-Wait entries hold only request
+	// metadata); on capacity pressure, evict LRU evictable entries; if
+	// nothing is evictable, bypass the merge unit.
+	if !m.reserve(loadMetaBytes) {
+		m.stats.BypassLoads++
+		m.forwardPlainLoad(p)
+		return
+	}
+	s := &session{
+		addr: p.Addr, state: LoadWait, size: loadMetaBytes, count: 1,
+		expected: p.Expected(), group: p.Group, first: now, lru: now,
+		waiters: []*noc.Packet{p}, tag: p.Tag,
+	}
+	m.insert(s)
+	m.stats.LoadFetches++
+	// Forward the fetch to the home GPU through the standard routing path.
+	fetch := &noc.Packet{
+		ID: m.id(), Op: noc.OpLoad, Addr: p.Addr, Home: p.Home,
+		Src: p.Src, Dst: p.Home, Size: p.Size, Group: p.Group,
+		Tag: &mergeRespTag{unit: m, addr: p.Addr, orig: p.Tag},
+	}
+	m.sendDown(p.Home, fetch)
+	m.armTimeout(s)
+}
+
+// HandleResponse consumes the home GPU's fetch response for a LoadWait
+// session: cache the data, answer all deferred requesters, and serve
+// subsequent hits from the cache.
+func (m *MergeUnit) HandleResponse(p *noc.Packet, tag *mergeRespTag) {
+	s, ok := m.sessions[tag.addr]
+	if !ok {
+		// Session was force-released (timeout after flush); deliver to the
+		// original requester only.
+		m.sendDown(p.Dst, p)
+		return
+	}
+	s.state = LoadReady
+	s.lru = m.eng.Now()
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		m.respond(s, w)
+	}
+	if s.count >= s.expected || s.flush {
+		m.release(s)
+		return
+	}
+	// Cache the arrived data for later requesters: grow the entry to the
+	// data size. If the content array cannot hold it, serve what we have
+	// and release (later requesters will re-fetch). The entry is pinned
+	// during the reservation so the eviction scan cannot pick it as its
+	// own victim (which would leak the grown bytes).
+	grow := p.Size - s.size
+	if grow > 0 {
+		s.pinned = true
+		ok := m.reserve(grow)
+		s.pinned = false
+		if !ok {
+			m.stats.Evictions++
+			m.release(s)
+			return
+		}
+		s.size += grow
+	}
+}
+
+// respond sends cached data down to one requester.
+func (m *MergeUnit) respond(s *session, req *noc.Packet) {
+	resp := &noc.Packet{
+		ID: m.id(), Op: noc.OpLoadResp, Addr: s.addr, Home: m.gpu,
+		Src: m.gpu, Dst: req.Src, Size: req.Size, Group: req.Group,
+		OnDone: req.OnDone, Tag: req.Tag,
+	}
+	m.sendDown(req.Src, resp)
+}
+
+// forwardPlainLoad bypasses merging: the request goes to the home GPU and
+// the response routes straight back (no caching, no table entry). Per
+// Sec. III-A-4 this path avoids thrashing when the table is saturated.
+func (m *MergeUnit) forwardPlainLoad(p *noc.Packet) {
+	fetch := &noc.Packet{
+		ID: m.id(), Op: noc.OpLoad, Addr: p.Addr, Home: p.Home,
+		Src: p.Src, Dst: p.Home, Size: p.Size, Group: p.Group,
+		Tag: &plainLoadTag{requester: p.Src, onDone: p.OnDone, orig: p.Tag},
+	}
+	m.sendDown(p.Home, fetch)
+}
+
+// plainLoadTag marks a bypassed load so the home GPU's response routes to
+// the requester without touching the merge unit.
+type plainLoadTag struct {
+	requester int
+	onDone    func()
+	orig      interface{}
+}
+
+// HandleReduction implements Micro-Function 2 (reduction request merging).
+func (m *MergeUnit) HandleReduction(p *noc.Packet) {
+	m.stats.noteArrivalKind(p.Addr, p.Expected(), m.eng.Now(), false)
+	if ArrivalHook != nil {
+		ArrivalHook(p.Addr, p.Src, m.eng.Now())
+	}
+	m.credit(p)
+	now := m.eng.Now()
+	s, ok := m.sessions[p.Addr]
+	if ok && s.state != Reduction {
+		// Same address used for both load and reduction merging would be
+		// a workload bug: CAIS keys sessions by (address, type) and our
+		// address space assigns distinct ranges per buffer.
+		panic(fmt.Sprintf("nvswitch: %s: load/reduction key collision at %#x", m.name, p.Addr))
+	}
+	if !ok {
+		if !m.reserve(p.Size) {
+			// Bypass: forward the lone contribution straight to the home
+			// GPU, which folds it in at HBM cost.
+			m.stats.BypassReds++
+			m.forwardPartial(p.Addr, p.Size, p.Group, 1, p.Tag, p.OnDone)
+			return
+		}
+		s = &session{
+			addr: p.Addr, state: Reduction, size: p.Size,
+			expected: p.Expected(), group: p.Group, first: now, lru: now,
+			bcast: p.Dst < 0, tag: p.Tag,
+		}
+		m.insert(s)
+		m.armTimeout(s)
+	}
+	s.count++
+	s.lru = now
+	if p.OnDone != nil {
+		s.onDone = append(s.onDone, p.OnDone)
+	}
+	m.stats.MergedReds++
+	if s.count >= s.expected {
+		m.stats.CompletedReds++
+		m.finishReduction(s)
+	}
+}
+
+// finishReduction writes the merged value out — to the home GPU, or to
+// every GPU's replica for broadcast (GEMM-AR) sessions — and releases the
+// entry.
+func (m *MergeUnit) finishReduction(s *session) {
+	if s.bcast {
+		for g := 0; g < m.numGPUs; g++ {
+			out := &noc.Packet{
+				ID: m.id(), Op: noc.OpRedCAIS, Addr: s.addr, Home: m.gpu,
+				Src: -1, Dst: g, Size: s.size, Group: s.group,
+				Contribs: s.count, Tag: s.tag,
+			}
+			m.sendDown(g, out)
+		}
+	} else {
+		m.forwardPartial(s.addr, s.size, s.group, s.count, s.tag, nil)
+	}
+	for _, done := range s.onDone {
+		m.eng.After(0, done)
+	}
+	s.onDone = nil
+	m.release(s)
+}
+
+// forwardPartial sends an accumulated (possibly partial) reduction result
+// to the home GPU; Contribs tells the home how many contributions the
+// payload folds in so it can detect completion.
+func (m *MergeUnit) forwardPartial(addr uint64, size int64, group, contribs int, tag interface{}, onDone func()) {
+	out := &noc.Packet{
+		ID: m.id(), Op: noc.OpRedCAIS, Addr: addr, Home: m.gpu,
+		Src: -1, Dst: m.gpu, Size: size, Group: group,
+		Contribs: contribs, Tag: tag, OnDone: onDone,
+	}
+	m.sendDown(m.gpu, out)
+}
+
+// reserve makes room for size bytes, evicting LRU evictable entries if
+// needed. It reports false when the allocation cannot be satisfied (the
+// arriving request must bypass the merge unit).
+func (m *MergeUnit) reserve(size int64) bool {
+	if m.capacity < 0 {
+		m.used += size
+		if m.used > m.hwm {
+			m.hwm = m.used
+		}
+		return true
+	}
+	if size > m.capacity {
+		return false
+	}
+	for m.used+size > m.capacity {
+		if !m.evictOne() {
+			return false
+		}
+	}
+	m.used += size
+	if m.used > m.hwm {
+		m.hwm = m.used
+	}
+	return true
+}
+
+// evictOne evicts one evictable entry per the configured policy
+// (Sec. III-A-4, LRU by default): Reduction entries flush their partial
+// sum to the home GPU; LoadReady entries drop their cached data; LoadWait
+// entries are deferred (marked flush-on-response) and are not immediately
+// reclaimable.
+func (m *MergeUnit) evictOne() bool {
+	var victim *session
+	for _, addr := range m.order {
+		s, ok := m.sessions[addr]
+		if !ok {
+			continue
+		}
+		if s.state == LoadWait || s.flush || s.pinned {
+			continue
+		}
+		switch m.policy {
+		case EvictFIFO:
+			// m.order is insertion-ordered: first evictable wins.
+			victim = s
+		case EvictMRU:
+			if victim == nil || s.lru > victim.lru {
+				victim = s
+			}
+		default: // EvictLRU
+			if victim == nil || s.lru < victim.lru {
+				victim = s
+			}
+		}
+		if m.policy == EvictFIFO && victim != nil {
+			break
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	m.stats.Evictions++
+	m.evict(victim)
+	return true
+}
+
+func (m *MergeUnit) evict(s *session) {
+	if s.state == Reduction && s.bcast {
+		// A broadcast session cannot flush partials to a home replica;
+		// it completes in place (all contributions are counted at the
+		// receivers, so partial broadcasts stay correct).
+		m.stats.PartialFlushes++
+		m.finishReduction(s)
+		return
+	}
+	if s.state == Reduction {
+		// Flush the partial result to the home GPU.
+		m.stats.PartialFlushes++
+		m.forwardPartial(s.addr, s.size, s.group, s.count, s.tag, nil)
+		for _, done := range s.onDone {
+			m.eng.After(0, done)
+		}
+		s.onDone = nil
+	}
+	m.release(s)
+}
+
+// release frees an entry's table space.
+func (m *MergeUnit) release(s *session) {
+	if _, ok := m.sessions[s.addr]; !ok {
+		return
+	}
+	m.recordSkew(s)
+	delete(m.sessions, s.addr)
+	m.used -= s.size
+	if m.used < 0 {
+		panic("nvswitch: merge table occupancy underflow")
+	}
+}
+
+func (m *MergeUnit) recordSkew(s *session) {
+	// Session lifetime (first arrival to release) approximates the
+	// arrival spread the entry had to buffer; full per-address skew is
+	// tracked in Stats independently of session lifetime.
+	m.stats.noteSessionLifetime(m.eng.Now() - s.first)
+}
+
+func (m *MergeUnit) insert(s *session) {
+	m.sessions[s.addr] = s
+	m.order = append(m.order, s.addr)
+	// Compact the order slice opportunistically once it accumulates
+	// mostly-dead addresses.
+	if len(m.order) > 4*len(m.sessions)+64 {
+		live := m.order[:0]
+		for _, addr := range m.order {
+			if _, ok := m.sessions[addr]; ok {
+				live = append(live, addr)
+			}
+		}
+		m.order = live
+	}
+}
+
+// armTimeout schedules the forward-progress check for a session. Each
+// access extends the deadline; the event re-arms itself until the session
+// is released or goes stale.
+func (m *MergeUnit) armTimeout(s *session) {
+	if m.timeout <= 0 {
+		return
+	}
+	deadline := s.lru + m.timeout
+	m.eng.At(deadline, func() {
+		cur, ok := m.sessions[s.addr]
+		if !ok || cur != s {
+			return
+		}
+		if cur.lru+m.timeout > m.eng.Now() {
+			// Touched since; re-arm at the extended deadline.
+			m.armTimeout(cur)
+			return
+		}
+		m.stats.TimeoutEvictions++
+		if cur.state == LoadWait {
+			// Defer until the response arrives (Sec. III-A-4).
+			cur.flush = true
+			return
+		}
+		m.evict(cur)
+	})
+}

@@ -1,0 +1,337 @@
+// Package nvswitch models one NVSwitch plane: deterministic routing of
+// peer-to-peer traffic, the NVLS in-switch multicast/reduction unit
+// (multimem.st / multimem.ld_reduce / multimem.red), the CAIS merge unit
+// with its CAM lookup table, merging table, LRU eviction and timeout
+// forward-progress mechanism (Section III-A of the paper), and the Group
+// Sync Table used by merging-aware TB coordination (Section III-B).
+package nvswitch
+
+import (
+	"fmt"
+
+	"cais/internal/noc"
+	"cais/internal/sim"
+)
+
+// Config parameterizes one switch plane.
+type Config struct {
+	NumGPUs       int
+	Plane         int      // plane index (for naming/diagnostics)
+	SwitchLatency sim.Time // per-packet processing latency
+
+	// MergeCapacity is the per-port merging-table capacity in bytes.
+	// Negative means unlimited (used to measure the minimal required
+	// table size, Fig. 13a).
+	MergeCapacity int64
+	// MergeTimeout is the forward-progress eviction timeout.
+	MergeTimeout sim.Time
+
+	// CreditLatency is the switch->GPU delay of the merge unit's
+	// acceptance feedback (one link traversal).
+	CreditLatency sim.Time
+
+	// Eviction selects the merge unit's victim policy (default LRU).
+	Eviction EvictionPolicy
+}
+
+// Switch is one NVSwitch plane. It terminates the per-GPU uplinks (it is
+// their noc.Endpoint) and owns one downlink plus one merge unit per
+// GPU-facing port.
+type Switch struct {
+	eng  *sim.Engine
+	cfg  Config
+	down []*noc.Link // index = GPU
+	port []*MergeUnit
+
+	nvlsRed  map[uint64]*nvlsRedSession
+	nvlsPull map[pullKey]*nvlsPullSession
+	sync     map[syncTableKey]*syncEntry
+
+	stats  *Stats
+	nextID uint64
+}
+
+type pullKey struct {
+	addr      uint64
+	requester int
+}
+
+// nvlsRedSession accumulates multimem.red push-reduction contributions in
+// the (pre-existing, unbounded) NVLS pipeline buffers.
+type nvlsRedSession struct {
+	size     int64
+	count    int
+	expected int
+	bcast    bool // broadcast result to all GPUs (AllReduce semantics)
+	home     int
+	group    int
+	onDone   []func()
+	tag      interface{}
+}
+
+// nvlsPullSession is one in-flight multimem.ld_reduce: reads fanned to all
+// GPU replicas, reduced as responses return.
+type nvlsPullSession struct {
+	pending int
+	resp    *noc.Packet
+}
+
+type syncEntry struct {
+	count    int
+	expected int
+	seen     map[int]bool
+}
+
+// New creates a switch plane for cfg.
+func New(eng *sim.Engine, cfg Config) *Switch {
+	if cfg.NumGPUs < 1 {
+		panic("nvswitch: NumGPUs must be >= 1")
+	}
+	s := &Switch{
+		eng:      eng,
+		cfg:      cfg,
+		down:     make([]*noc.Link, cfg.NumGPUs),
+		port:     make([]*MergeUnit, cfg.NumGPUs),
+		nvlsRed:  make(map[uint64]*nvlsRedSession),
+		nvlsPull: make(map[pullKey]*nvlsPullSession),
+		sync:     make(map[syncTableKey]*syncEntry),
+		stats:    NewStats(),
+	}
+	for g := 0; g < cfg.NumGPUs; g++ {
+		s.port[g] = newMergeUnit(eng, fmt.Sprintf("sw%d.port%d", cfg.Plane, g), cfg.MergeCapacity, cfg.MergeTimeout, s.stats)
+		s.port[g].sendDown = s.sendDown
+		s.port[g].gpu = g
+		s.port[g].creditLatency = cfg.CreditLatency
+		s.port[g].policy = cfg.Eviction
+		s.port[g].numGPUs = cfg.NumGPUs
+	}
+	return s
+}
+
+// ConnectDown attaches the switch->GPU link for one port. Must be called
+// for every GPU before traffic flows.
+func (s *Switch) ConnectDown(gpu int, link *noc.Link) { s.down[gpu] = link }
+
+// Stats returns the plane's statistics collector.
+func (s *Switch) Stats() *Stats { return s.stats }
+
+// Port returns the merge unit of the given GPU-facing port.
+func (s *Switch) Port(gpu int) *MergeUnit { return s.port[gpu] }
+
+// Receive implements noc.Endpoint for uplink traffic: the packet is
+// processed after the switch-internal latency.
+func (s *Switch) Receive(p *noc.Packet) {
+	s.eng.After(s.cfg.SwitchLatency, func() { s.process(p) })
+}
+
+func (s *Switch) sendDown(gpu int, p *noc.Packet) {
+	if gpu < 0 || gpu >= len(s.down) || s.down[gpu] == nil {
+		panic(fmt.Sprintf("nvswitch: no downlink for gpu %d", gpu))
+	}
+	s.down[gpu].Send(p)
+}
+
+func (s *Switch) process(p *noc.Packet) {
+	switch p.Op {
+	case noc.OpLoad, noc.OpStore:
+		// Plain P2P: forward toward the home GPU.
+		s.sendDown(p.Home, p)
+
+	case noc.OpLoadResp:
+		s.handleLoadResp(p)
+
+	case noc.OpMultimemST:
+		s.handleMulticastStore(p)
+
+	case noc.OpMultimemLdReduce:
+		s.handlePullReduce(p)
+
+	case noc.OpMultimemRed:
+		s.handlePushReduce(p)
+
+	case noc.OpLdCAIS:
+		s.port[p.Home].HandleLoad(p)
+
+	case noc.OpRedCAIS:
+		s.port[p.Home].HandleReduction(p)
+
+	case noc.OpSyncRequest:
+		s.handleSync(p)
+
+	default:
+		panic(fmt.Sprintf("nvswitch: unexpected uplink op %v", p.Op))
+	}
+}
+
+// handleLoadResp routes a data response from a home GPU. Responses for
+// merge-unit sessions carry a *MergeUnit tag; pull-reduce fan responses
+// carry a pullKey tag; plain responses route to their destination.
+func (s *Switch) handleLoadResp(p *noc.Packet) {
+	switch tag := p.Tag.(type) {
+	case *mergeRespTag:
+		tag.unit.HandleResponse(p, tag)
+	case pullKey:
+		s.handlePullResponse(p, tag)
+	case *plainLoadTag:
+		// Bypassed (unmerged) load: restore the requester's completion
+		// context and deliver directly.
+		p.OnDone = tag.onDone
+		p.Tag = tag.orig
+		s.sendDown(tag.requester, p)
+	default:
+		s.sendDown(p.Dst, p)
+	}
+}
+
+// handleMulticastStore implements the NVLS push-mode AllGather step: one
+// uplink payload is replicated to every peer's downlink.
+func (s *Switch) handleMulticastStore(p *noc.Packet) {
+	s.stats.MulticastStores++
+	for g := 0; g < s.cfg.NumGPUs; g++ {
+		if g == p.Src {
+			continue
+		}
+		copyP := *p
+		copyP.ID = s.id()
+		copyP.Dst = g
+		copyP.OnDone = nil // completion is sender-side
+		s.sendDown(g, &copyP)
+	}
+	// Push stores complete at the sender as soon as the switch accepts
+	// them (posted semantics).
+	if p.OnDone != nil {
+		done := p.OnDone
+		s.eng.After(0, done)
+	}
+}
+
+// handlePullReduce implements multimem.ld_reduce: fan control reads to
+// every GPU's replica, reduce responses in-flight, return one value to the
+// requester.
+func (s *Switch) handlePullReduce(p *noc.Packet) {
+	key := pullKey{addr: p.Addr, requester: p.Src}
+	if _, ok := s.nvlsPull[key]; ok {
+		panic(fmt.Sprintf("nvswitch: duplicate ld_reduce session %+v", key))
+	}
+	resp := &noc.Packet{
+		ID: s.id(), Op: noc.OpLoadResp, Addr: p.Addr, Home: p.Home,
+		Src: p.Home, Dst: p.Src, Size: p.Size, Group: p.Group,
+		OnDone: p.OnDone, Tag: p.Tag, Contribs: s.cfg.NumGPUs,
+	}
+	s.nvlsPull[key] = &nvlsPullSession{pending: s.cfg.NumGPUs, resp: resp}
+	s.stats.PullReduces++
+	for g := 0; g < s.cfg.NumGPUs; g++ {
+		fan := &noc.Packet{
+			ID: s.id(), Op: noc.OpReadFan, Addr: p.Addr, Home: g,
+			Src: p.Src, Dst: g, Size: p.Size, Group: p.Group, Tag: key,
+		}
+		s.sendDown(g, fan)
+	}
+}
+
+func (s *Switch) handlePullResponse(p *noc.Packet, key pullKey) {
+	sess, ok := s.nvlsPull[key]
+	if !ok {
+		panic(fmt.Sprintf("nvswitch: pull response without session %+v", key))
+	}
+	sess.pending--
+	if sess.pending == 0 {
+		delete(s.nvlsPull, key)
+		s.sendDown(sess.resp.Dst, sess.resp)
+	}
+}
+
+// handlePushReduce implements multimem.red: contributions accumulate per
+// address; once all expected GPUs contributed, the reduced value is
+// written to all replicas (broadcast) or to the home GPU only.
+func (s *Switch) handlePushReduce(p *noc.Packet) {
+	sess, ok := s.nvlsRed[p.Addr]
+	if !ok {
+		expected := p.Contribs
+		if expected <= 0 {
+			expected = s.cfg.NumGPUs
+		}
+		sess = &nvlsRedSession{
+			size: p.Size, expected: expected, home: p.Home,
+			bcast: p.Dst < 0, group: p.Group, tag: p.Tag,
+		}
+		s.nvlsRed[p.Addr] = sess
+	}
+	sess.count++
+	if p.OnDone != nil {
+		sess.onDone = append(sess.onDone, p.OnDone)
+	}
+	if sess.count < sess.expected {
+		return
+	}
+	delete(s.nvlsRed, p.Addr)
+	s.stats.PushReduces++
+	targets := []int{sess.home}
+	if sess.bcast {
+		targets = targets[:0]
+		for g := 0; g < s.cfg.NumGPUs; g++ {
+			targets = append(targets, g)
+		}
+	}
+	for _, g := range targets {
+		out := &noc.Packet{
+			ID: s.id(), Op: noc.OpMultimemRed, Addr: p.Addr, Home: sess.home,
+			Src: -1, Dst: g, Size: sess.size, Group: sess.group,
+			Contribs: sess.count, Tag: sess.tag,
+		}
+		s.sendDown(g, out)
+	}
+	for _, done := range sess.onDone {
+		s.eng.After(0, done)
+	}
+}
+
+// handleSync implements the Group Sync Table: when all expected GPUs have
+// registered a given group/phase key, release packets broadcast to every
+// GPU's synchronizer.
+func (s *Switch) handleSync(p *noc.Packet) {
+	key := syncKey(p.Group, p.Addr)
+	e, ok := s.sync[key]
+	if !ok {
+		expected := p.Contribs
+		if expected <= 0 {
+			expected = s.cfg.NumGPUs
+		}
+		e = &syncEntry{expected: expected, seen: make(map[int]bool)}
+		s.sync[key] = e
+	}
+	if e.seen[p.Src] {
+		panic(fmt.Sprintf("nvswitch: duplicate sync registration group=%d phase=%d gpu=%d", p.Group, p.Addr, p.Src))
+	}
+	e.seen[p.Src] = true
+	e.count++
+	if e.count < e.expected {
+		return
+	}
+	delete(s.sync, key)
+	s.stats.SyncReleases++
+	for g := 0; g < s.cfg.NumGPUs; g++ {
+		if !e.seen[g] {
+			continue
+		}
+		rel := &noc.Packet{
+			ID: s.id(), Op: noc.OpSyncRelease, Addr: p.Addr,
+			Src: -1, Dst: g, Group: p.Group,
+		}
+		s.sendDown(g, rel)
+	}
+}
+
+type syncTableKey struct {
+	group int
+	phase uint64
+}
+
+func syncKey(group int, phase uint64) syncTableKey {
+	return syncTableKey{group: group, phase: phase}
+}
+
+func (s *Switch) id() uint64 {
+	s.nextID++
+	return s.nextID
+}

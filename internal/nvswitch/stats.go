@@ -1,0 +1,166 @@
+package nvswitch
+
+import "cais/internal/sim"
+
+// Stats aggregates switch-plane behavior. One Stats instance is shared by
+// a plane's ports; experiments sum across planes.
+type Stats struct {
+	// NVLS unit.
+	MulticastStores int64 // multimem.st replications
+	PullReduces     int64 // completed multimem.ld_reduce sessions
+	PushReduces     int64 // completed multimem.red sessions
+
+	// Merge unit (Micro-Functions 1 and 2).
+	MergedLoads   int64 // ld.cais requests absorbed by an existing session
+	LoadFetches   int64 // fetches issued to home GPUs (one per session)
+	BypassLoads   int64 // loads forwarded unmerged (table saturated)
+	MergedReds    int64 // red.cais contributions accepted into sessions
+	CompletedReds int64 // reduction sessions that gathered all contributions
+	BypassReds    int64 // contributions forwarded unmerged
+
+	// Eviction machinery.
+	Evictions        int64 // LRU capacity evictions
+	PartialFlushes   int64 // partial reduction results flushed to home GPUs
+	TimeoutEvictions int64 // forward-progress timeouts
+
+	// Group Sync Table.
+	SyncReleases int64
+
+	// Session lifetime (first arrival to release).
+	sessLifeSum   sim.Time
+	sessLifeCount int64
+
+	// Per-address request skew: the delay between the earliest and latest
+	// requests targeting the same address (the paper's "average waiting
+	// time", Fig. 13b). Tracked independently of merge-session lifetime so
+	// evictions don't hide skew.
+	skew      map[uint64]*skewEntry
+	skewSum   sim.Time
+	skewCount int64
+	skewMax   sim.Time
+
+	ldSkewSum    sim.Time
+	ldSkewCount  int64
+	redSkewSum   sim.Time
+	redSkewCount int64
+}
+
+type skewEntry struct {
+	first    sim.Time
+	last     sim.Time
+	seen     int
+	expected int
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats {
+	return &Stats{skew: make(map[uint64]*skewEntry)}
+}
+
+func (st *Stats) noteArrival(addr uint64, src, expected int, now sim.Time) {
+	st.noteArrivalKind(addr, expected, now, false)
+}
+
+func (st *Stats) noteArrivalKind(addr uint64, expected int, now sim.Time, isLoad bool) {
+	if expected <= 1 {
+		return
+	}
+	e, ok := st.skew[addr]
+	if !ok {
+		e = &skewEntry{first: now, expected: expected}
+		st.skew[addr] = e
+	}
+	e.last = now
+	e.seen++
+	if e.seen >= e.expected {
+		delete(st.skew, addr)
+		d := e.last - e.first
+		st.skewSum += d
+		st.skewCount++
+		if d > st.skewMax {
+			st.skewMax = d
+		}
+		if isLoad {
+			st.ldSkewSum += d
+			st.ldSkewCount++
+		} else {
+			st.redSkewSum += d
+			st.redSkewCount++
+		}
+	}
+}
+
+// AvgLoadSkew reports mean per-address arrival spread for load merging.
+func (st Stats) AvgLoadSkew() sim.Time {
+	if st.ldSkewCount == 0 {
+		return 0
+	}
+	return st.ldSkewSum / sim.Time(st.ldSkewCount)
+}
+
+// AvgReductionSkew reports mean arrival spread for reduction merging.
+func (st Stats) AvgReductionSkew() sim.Time {
+	if st.redSkewCount == 0 {
+		return 0
+	}
+	return st.redSkewSum / sim.Time(st.redSkewCount)
+}
+
+func (st *Stats) noteSessionLifetime(d sim.Time) {
+	st.sessLifeSum += d
+	st.sessLifeCount++
+}
+
+// AvgSkew reports the mean delay between the earliest and latest requests
+// to the same address, across all fully-observed addresses.
+func (st Stats) AvgSkew() sim.Time {
+	if st.skewCount == 0 {
+		return 0
+	}
+	return st.skewSum / sim.Time(st.skewCount)
+}
+
+// MaxSkew reports the largest observed per-address arrival spread.
+func (st Stats) MaxSkew() sim.Time { return st.skewMax }
+
+// SkewSamples reports how many addresses contributed to AvgSkew.
+func (st Stats) SkewSamples() int64 { return st.skewCount }
+
+// AvgSessionLifetime reports mean merge-session residency.
+func (st Stats) AvgSessionLifetime() sim.Time {
+	if st.sessLifeCount == 0 {
+		return 0
+	}
+	return st.sessLifeSum / sim.Time(st.sessLifeCount)
+}
+
+// Merge returns st folded together with other (for summing across planes).
+func (st *Stats) Merge(other *Stats) Stats {
+	out := *st
+	out.MulticastStores += other.MulticastStores
+	out.PullReduces += other.PullReduces
+	out.PushReduces += other.PushReduces
+	out.MergedLoads += other.MergedLoads
+	out.LoadFetches += other.LoadFetches
+	out.BypassLoads += other.BypassLoads
+	out.MergedReds += other.MergedReds
+	out.CompletedReds += other.CompletedReds
+	out.BypassReds += other.BypassReds
+	out.Evictions += other.Evictions
+	out.PartialFlushes += other.PartialFlushes
+	out.TimeoutEvictions += other.TimeoutEvictions
+	out.SyncReleases += other.SyncReleases
+	out.sessLifeSum += other.sessLifeSum
+	out.sessLifeCount += other.sessLifeCount
+	out.skewSum += other.skewSum
+	out.skewCount += other.skewCount
+	out.ldSkewSum += other.ldSkewSum
+	out.ldSkewCount += other.ldSkewCount
+	out.redSkewSum += other.redSkewSum
+	out.redSkewCount += other.redSkewCount
+	if other.skewMax > out.skewMax {
+		out.skewMax = other.skewMax
+	}
+	out.skew = nil
+	return out
+}

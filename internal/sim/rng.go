@@ -1,0 +1,65 @@
+package sim
+
+// RNG is a splitmix64 pseudo-random generator. It is used for the
+// calibrated execution-time jitter described in DESIGN.md §1; splitmix64 is
+// chosen because it is trivially seedable per entity (gpu, kernel, tb), has
+// no shared state, and is reproducible across platforms.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Between returns a uniform Time in [lo, hi]. If hi <= lo it returns lo.
+func (r *RNG) Between(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.Uint64()%uint64(hi-lo+1))
+}
+
+// Jitter returns a multiplicative factor in [1-frac, 1+frac] for modeling
+// execution-time noise. frac <= 0 yields exactly 1.
+func (r *RNG) Jitter(frac float64) float64 {
+	if frac <= 0 {
+		return 1
+	}
+	return 1 + frac*(2*r.Float64()-1)
+}
+
+// Hash64 mixes an arbitrary number of 64-bit values into one, for deriving
+// deterministic per-entity seeds (e.g. Hash64(gpuID, kernelID, tbID)).
+func Hash64(parts ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
