@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test check vet fmt race bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# race: the tracer/registry/engine are single-goroutine by design, but the
+# CLI spawns a pprof server goroutine and tests exercise concurrent
+# snapshotting idioms — keep the concurrency-sensitive packages honest.
+race:
+	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/sim/
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: fmt vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/trace/ ./internal/metrics/
+
+clean:
+	$(GO) clean ./...

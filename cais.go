@@ -20,9 +20,11 @@ import (
 	"cais/internal/core"
 	"cais/internal/experiments"
 	"cais/internal/machine"
+	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/sim"
 	"cais/internal/strategy"
+	"cais/internal/trace"
 )
 
 // Re-exported core types.
@@ -49,7 +51,18 @@ type (
 	ExperimentConfig = experiments.Config
 	// Time is simulated time in picoseconds.
 	Time = sim.Time
+	// Tracer records simulation events for Perfetto/Chrome trace viewers.
+	// A nil Tracer disables tracing with zero overhead.
+	Tracer = trace.Tracer
+	// Telemetry is a point-in-time snapshot of every registered metric.
+	Telemetry = metrics.Snapshot
+	// Metric is one named telemetry value in a snapshot.
+	Metric = metrics.Metric
 )
+
+// NewTracer creates an enabled event tracer. Pass it via RunOptions.Tracer
+// (or SessionOptions.Tracer) and serialize with its WriteFile/WriteJSON.
+func NewTracer() *Tracer { return trace.New() }
 
 // DGXH100 returns the paper's simulated system configuration.
 func DGXH100() Hardware { return config.DGXH100() }
@@ -93,6 +106,17 @@ func RunInference(hw Hardware, s Strategy, m Model, layers int) (Result, error) 
 // backward) under the strategy.
 func RunTraining(hw Hardware, s Strategy, m Model, layers int) (Result, error) {
 	return strategy.RunLayers(hw, s, m, true, layers)
+}
+
+// RunInferenceOpts is RunInference with run options (tracing, progress
+// callbacks, step limits, machine configuration hooks).
+func RunInferenceOpts(hw Hardware, s Strategy, m Model, layers int, opts RunOptions) (Result, error) {
+	return strategy.RunLayersOpts(hw, s, m, false, layers, opts)
+}
+
+// RunTrainingOpts is RunTraining with run options.
+func RunTrainingOpts(hw Hardware, s Strategy, m Model, layers int, opts RunOptions) (Result, error) {
+	return strategy.RunLayersOpts(hw, s, m, true, layers, opts)
 }
 
 // RunSubLayer simulates one sub-layer pipeline under the strategy.

@@ -9,12 +9,15 @@
 //	caissim -experiment fig14 -quick     # reduced fidelity (fast)
 //	caissim -list                        # list experiment IDs
 //	caissim -strategy CAIS -model llama-7b -layers 1 -training
+//	caissim -strategy CAIS -model llama-7b -trace out.json   # Perfetto trace
 //	caissim -strategies                  # list strategies
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -34,8 +37,21 @@ func main() {
 		training   = flag.Bool("training", false, "simulate training (fwd+bwd) instead of prefill")
 		gpus       = flag.Int("gpus", 0, "override the GPU count (default: 8)")
 		requestKB  = flag.Int("request-kb", 0, "override the request granularity in KB")
+		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (strategy runs)")
+		metricsOut = flag.String("metrics-json", "", "write the run's metric snapshot as JSON to this file (strategy runs)")
+		verbose    = flag.Bool("v", false, "log simulation progress to stderr")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+	}
 
 	switch {
 	case *list:
@@ -54,8 +70,15 @@ func main() {
 			fmt.Printf("%-14s layout=%s (extension beyond the paper)\n", s.Name, s.Layout)
 		}
 	case *strat != "":
-		runStrategy(*strat, *modelName, *layers, *training, *gpus, *requestKB)
+		runStrategy(strategyRun{
+			name: *strat, model: *modelName, layers: *layers, training: *training,
+			gpus: *gpus, requestKB: *requestKB,
+			traceOut: *traceOut, metricsOut: *metricsOut, verbose: *verbose,
+		})
 	case *experiment != "":
+		if *traceOut != "" || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "note: -trace/-metrics-json apply to -strategy runs only; ignored for experiments")
+		}
 		runExperiments(*experiment, *quick)
 	default:
 		flag.Usage()
@@ -84,14 +107,27 @@ func runExperiments(id string, quick bool) {
 	}
 }
 
-func runStrategy(name, modelName string, layers int, training bool, gpus, requestKB int) {
-	spec, err := cais.StrategyByName(name)
+type strategyRun struct {
+	name      string
+	model     string
+	layers    int
+	training  bool
+	gpus      int
+	requestKB int
+
+	traceOut   string
+	metricsOut string
+	verbose    bool
+}
+
+func runStrategy(r strategyRun) {
+	spec, err := cais.StrategyByName(r.name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	var m cais.Model
-	switch strings.ToLower(modelName) {
+	switch strings.ToLower(r.model) {
 	case "mega-gpt-4b":
 		m = cais.MegaGPT4B()
 	case "mega-gpt-8b":
@@ -99,32 +135,56 @@ func runStrategy(name, modelName string, layers int, training bool, gpus, reques
 	case "llama-7b":
 		m = cais.LLaMA7B()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", modelName)
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", r.model)
 		os.Exit(1)
 	}
 	hw := cais.DGXH100()
 	hw.RequestBytes = 32 << 10
-	if gpus > 0 {
-		hw.NumGPUs = gpus
+	if r.gpus > 0 {
+		hw.NumGPUs = r.gpus
 	}
-	if requestKB > 0 {
-		hw.RequestBytes = int64(requestKB) << 10
+	if r.requestKB > 0 {
+		hw.RequestBytes = int64(r.requestKB) << 10
 	}
-	run := cais.RunInference
+
+	var opts cais.RunOptions
+	if r.traceOut != "" {
+		opts.Tracer = cais.NewTracer()
+	}
+	if r.verbose {
+		wallStart := time.Now()
+		lastWall := wallStart
+		var lastSteps uint64
+		opts.ProgressEvery = 1 << 18
+		opts.Progress = func(now cais.Time, steps uint64) {
+			wall := time.Now()
+			rate := float64(steps-lastSteps) / wall.Sub(lastWall).Seconds()
+			lastWall, lastSteps = wall, steps
+			fmt.Fprintf(os.Stderr, "[%8.1fs] sim time %v, %d events (%.0f events/s)\n",
+				wall.Sub(wallStart).Seconds(), now, steps, rate)
+		}
+	}
+
+	run := cais.RunInferenceOpts
 	kind := "inference (prefill)"
-	if training {
-		run = cais.RunTraining
+	if r.training {
+		run = cais.RunTrainingOpts
 		kind = "training step"
 	}
-	res, err := run(hw, spec, m, layers)
+	start := time.Now()
+	res, err := run(hw, spec, m, r.layers, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	perLayer := res.Elapsed / cais.Time(layers)
+	if r.verbose {
+		fmt.Fprintf(os.Stderr, "run finished in %v wall time\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	perLayer := res.Elapsed / cais.Time(r.layers)
 	full := perLayer * cais.Time(m.Layers)
 	fmt.Printf("%s on %s, %s\n", spec.Name, m.Name, kind)
-	fmt.Printf("  simulated %d layer(s): %v (%v per layer)\n", layers, res.Elapsed, perLayer)
+	fmt.Printf("  simulated %d layer(s): %v (%v per layer)\n", r.layers, res.Elapsed, perLayer)
 	fmt.Printf("  extrapolated full model (%d layers): %v\n", m.Layers, full)
 	fmt.Printf("  avg link utilization: %.1f%%\n", res.AvgUtil*100)
 	st := res.Stats
@@ -133,4 +193,31 @@ func runStrategy(name, modelName string, layers int, training bool, gpus, reques
 	if st.SkewSamples() > 0 {
 		fmt.Printf("  avg request arrival skew: %v\n", st.AvgSkew())
 	}
+
+	if r.traceOut != "" {
+		if err := opts.Tracer.WriteFile(r.traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", opts.Tracer.Len(), r.traceOut)
+	}
+	if r.metricsOut != "" {
+		if err := writeMetrics(r.metricsOut, res.Telemetry); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d metrics to %s\n", res.Telemetry.Len(), r.metricsOut)
+	}
+}
+
+func writeMetrics(path string, snap cais.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

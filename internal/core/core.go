@@ -106,7 +106,7 @@ func (s *Session) Elapsed() sim.Time { return s.elapsed }
 func (s *Session) DrainedAt() sim.Time { return s.drained }
 
 // SwitchStats folds the per-plane switch statistics.
-func (s *Session) SwitchStats() nvswitch.Stats { return s.machine.SwitchStats() }
+func (s *Session) SwitchStats() nvswitch.Summary { return s.machine.SwitchStats() }
 
 // AvgLinkUtilization reports the mean link busy fraction over the run.
 func (s *Session) AvgLinkUtilization() float64 {

@@ -13,6 +13,7 @@ import (
 	"cais/internal/kernel"
 	"cais/internal/noc"
 	"cais/internal/sim"
+	"cais/internal/trace"
 )
 
 // TileTag travels on data packets so the machine layer can publish tiles
@@ -58,6 +59,10 @@ type GPU struct {
 	nextPktID uint64
 	seed      uint64
 
+	tr       *trace.Tracer
+	pid      int32
+	slotTids []int32 // free SM-slot trace tracks (only populated when tracing)
+
 	// Stats.
 	TBsRun         int64
 	RequestsSent   int64
@@ -72,6 +77,16 @@ func New(eng *sim.Engine, id int, hw config.Hardware, planeOf func(addr uint64) 
 		hbm:       sim.NewResource(fmt.Sprintf("gpu%d.hbm", id)),
 		slotsFree: hw.SMsPerGPU,
 		seed:      sim.Hash64(hw.Seed, uint64(id)),
+		tr:        trace.FromEngine(eng),
+		pid:       trace.GPUPid(id),
+	}
+	if g.tr.Enabled() {
+		// SM-slot trace tracks, handed out lowest-numbered first so sparse
+		// occupancy renders on the top tracks.
+		g.slotTids = make([]int32, 0, hw.SMsPerGPU)
+		for i := hw.SMsPerGPU - 1; i >= 0; i-- {
+			g.slotTids = append(g.slotTids, int32(i))
+		}
 	}
 	g.sync = newSynchronizer(g)
 	// The throttle bounds outstanding mergeable bytes (released by switch

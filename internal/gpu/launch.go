@@ -55,6 +55,10 @@ type tbRun struct {
 	// loaded marks a coordinated TB whose pre-phase loads completed while
 	// it was suspended: on re-dispatch it goes straight to compute.
 	loaded bool
+
+	// SM-residency trace bookkeeping (slotTid < 0 when untraced/yielded).
+	slotTid   int32
+	slotStart sim.Time
 }
 
 // Launch starts a kernel on this GPU. The caller (machine layer) marks TBs
@@ -131,7 +135,7 @@ func (l *Launch) MarkEligible(tb int) {
 // lives on another GPU) retire immediately without occupying an SM.
 func (l *Launch) admit(tb int) {
 	desc := l.K.Work(l.g.ID, tb)
-	run := &tbRun{tb: tb, desc: desc, group: -1}
+	run := &tbRun{tb: tb, desc: desc, group: -1, slotTid: -1}
 	if isNoop(desc) {
 		l.g.eng.After(0, func() { l.g.finishTB(l, run) })
 		return
@@ -217,7 +221,31 @@ func (g *GPU) trySchedule() {
 func (g *GPU) dispatch(l *Launch, run *tbRun) {
 	g.slotsFree--
 	l.active++
+	g.slotAcquire(run)
 	g.eng.After(g.hw.TBOverhead, func() { g.tbPrePhase(l, run) })
+}
+
+// slotAcquire assigns a free SM-slot trace track to a dispatched TB.
+func (g *GPU) slotAcquire(run *tbRun) {
+	if len(g.slotTids) == 0 {
+		return
+	}
+	run.slotTid = g.slotTids[len(g.slotTids)-1]
+	g.slotTids = g.slotTids[:len(g.slotTids)-1]
+	run.slotStart = g.eng.Now()
+}
+
+// slotRelease emits the TB's SM-residency span and recycles its track.
+// Residency spans cover dispatch-to-yield and dispatch-to-retire windows,
+// so a coordinated TB that yields while its group synchronizes shows up as
+// two spans — exactly the occupancy the SM scheduler sees.
+func (g *GPU) slotRelease(l *Launch, run *tbRun) {
+	if run.slotTid < 0 {
+		return
+	}
+	g.tr.Span(g.pid, run.slotTid, "gpu.tb", l.K.Name, run.slotStart, g.eng.Now())
+	g.slotTids = append(g.slotTids, run.slotTid)
+	run.slotTid = -1
 }
 
 // tbPrePhase performs pre-access synchronization (for mergeable loads) and
@@ -247,6 +275,7 @@ func (g *GPU) tbPrePhase(l *Launch, run *tbRun) {
 			}
 		})
 		// Yield the slot while the group synchronizes and the data moves.
+		g.slotRelease(l, run)
 		g.slotsFree++
 		l.active--
 		g.trySchedule()
@@ -321,6 +350,7 @@ func (g *GPU) tbPostPhase(l *Launch, run *tbRun) {
 		// Yield the SM while waiting for the group: issuing the posts
 		// after the release needs no further compute, so the TB finishes
 		// without re-acquiring a slot.
+		g.slotRelease(l, run)
 		g.slotsFree++
 		l.active--
 		g.TBsRun++
@@ -334,6 +364,7 @@ func (g *GPU) tbPostPhase(l *Launch, run *tbRun) {
 
 // tbRetire frees the SM slot and finishes the TB.
 func (g *GPU) tbRetire(l *Launch, run *tbRun) {
+	g.slotRelease(l, run)
 	g.slotsFree++
 	l.active--
 	g.TBsRun++

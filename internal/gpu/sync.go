@@ -17,6 +17,18 @@ const (
 	PhasePreReduce = 2
 )
 
+func phaseName(phase int) string {
+	switch phase {
+	case PhasePreLaunch:
+		return "pre-launch"
+	case PhasePreLoad:
+		return "pre-load"
+	case PhasePreReduce:
+		return "pre-reduce"
+	}
+	return fmt.Sprintf("phase%d", phase)
+}
+
 type syncKey struct {
 	group int
 	phase int
@@ -43,6 +55,18 @@ func (s *Synchronizer) Wait(group, phase, expected int, fn func()) {
 	key := syncKey{group: group, phase: phase}
 	if _, dup := s.waiting[key]; dup {
 		panic(fmt.Sprintf("gpu%d: duplicate sync wait for group %d phase %d", s.g.ID, group, phase))
+	}
+	if tr := s.g.tr; tr.Enabled() {
+		// Barrier waits overlap freely per GPU, so they trace as async
+		// spans: register-to-release per (group, phase).
+		id := tr.NextID()
+		name := phaseName(phase)
+		tr.BeginAsync(s.g.pid, "gpu.sync", name, id, s.g.eng.Now())
+		inner := fn
+		fn = func() {
+			tr.EndAsync(s.g.pid, "gpu.sync", name, id, s.g.eng.Now())
+			inner()
+		}
 	}
 	s.waiting[key] = fn
 	s.Requests++

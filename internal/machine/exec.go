@@ -6,6 +6,7 @@ import (
 	"cais/internal/gpu"
 	"cais/internal/kernel"
 	"cais/internal/noc"
+	"cais/internal/trace"
 )
 
 // LaunchKernel starts kernel k on every GPU (SPMD) and wires TB-level
@@ -22,6 +23,13 @@ func (m *Machine) LaunchKernel(k *kernel.Kernel, onDone func()) {
 
 	span := &KernelSpan{Name: k.Name, Kind: k.Kind, Start: m.Eng.Now()}
 	m.KernelSpans = append(m.KernelSpans, span)
+	var traceID uint64
+	if m.tr.Enabled() {
+		// Kernels overlap (asymmetric kernel overlapping), so they trace as
+		// async spans on the machine process.
+		traceID = m.tr.NextID()
+		m.tr.BeginAsync(trace.PIDMachine, "kernel", k.Name, traceID, span.Start)
+	}
 	remaining := len(m.GPUs)
 	launches := make([]*gpu.Launch, len(m.GPUs))
 	for g := range m.GPUs {
@@ -39,6 +47,9 @@ func (m *Machine) LaunchKernel(k *kernel.Kernel, onDone func()) {
 				remaining--
 				if remaining == 0 {
 					span.End = m.Eng.Now()
+					if traceID != 0 {
+						m.tr.EndAsync(trace.PIDMachine, "kernel", k.Name, traceID, span.End)
+					}
 					if onDone != nil {
 						onDone()
 					}

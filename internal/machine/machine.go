@@ -13,9 +13,11 @@ import (
 	"cais/internal/config"
 	"cais/internal/gpu"
 	"cais/internal/kernel"
+	"cais/internal/metrics"
 	"cais/internal/noc"
 	"cais/internal/nvswitch"
 	"cais/internal/sim"
+	"cais/internal/trace"
 )
 
 // Options tune system assembly beyond the hardware config.
@@ -34,6 +36,10 @@ type Options struct {
 	// on every link (design ablation: control packets then share the
 	// data queues and suffer head-of-line blocking).
 	NoControlSideband bool
+	// Tracer, when non-nil, is attached to the engine before assembly so
+	// every subsystem records spans into it (Perfetto export). Nil keeps
+	// instrumentation disabled at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Machine is one assembled system plus its execution state.
@@ -65,6 +71,9 @@ type Machine struct {
 	// KernelSpans records per-kernel execution windows for reporting:
 	// earliest launch start to latest completion across GPUs.
 	KernelSpans []*KernelSpan
+
+	reg *metrics.Registry
+	tr  *trace.Tracer
 }
 
 // KernelSpan is one kernel's execution window across all GPUs.
@@ -105,6 +114,11 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 	if err := hw.Validate(); err != nil {
 		panic(err)
 	}
+	if opts.Tracer != nil {
+		// Attach before assembly: every component captures the tracer from
+		// the engine at construction time.
+		trace.Attach(eng, opts.Tracer)
+	}
 	m := &Machine{
 		Eng: eng, HW: hw, Opts: opts,
 		ready:   make(map[kernel.Tile]bool),
@@ -112,6 +126,8 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 		contrib: make(map[contribKey]*contribState),
 		// Address 0 is reserved so a zero Access is always a bug.
 		nextAddr: 1,
+		reg:      metrics.NewRegistry(),
+		tr:       trace.FromEngine(eng),
 	}
 	planeOf := func(addr uint64) int { return int(addr % uint64(hw.NumSwitchPlanes)) }
 	for g := 0; g < hw.NumGPUs; g++ {
@@ -133,6 +149,7 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 			MergeTimeout:  hw.MergeTimeout,
 			CreditLatency: hw.LinkLatency,
 			Eviction:      opts.Eviction,
+			Metrics:       m.reg,
 		})
 		m.Switches = append(m.Switches, sw)
 		ups := make([]*noc.Link, hw.NumGPUs)
@@ -147,12 +164,79 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 			m.GPUs[g].ConnectUp(pl, up)
 			sw.ConnectDown(g, down)
 			ups[g], downs[g] = up, down
+			// Link busy intervals render on the switch plane's process:
+			// one uplink and one downlink track per GPU port.
+			up.TraceOn(trace.SwitchPid(pl), trace.TIDUplinkBase+int32(g))
+			down.TraceOn(trace.SwitchPid(pl), trace.TIDDownlinkBase+int32(g))
 		}
 		m.upLink = append(m.upLink, ups)
 		m.downLink = append(m.downLink, downs)
 	}
+	m.nameTraceTracks()
+	m.registerGauges()
 	return m
 }
+
+// nameTraceTracks labels the Perfetto processes and threads so the trace
+// reads as the machine topology.
+func (m *Machine) nameTraceTracks() {
+	if !m.tr.Enabled() {
+		return
+	}
+	m.tr.NameProcess(trace.PIDMachine, "machine")
+	m.tr.NameThread(trace.PIDMachine, 0, "kernels")
+	for g := 0; g < m.HW.NumGPUs; g++ {
+		m.tr.NameProcess(trace.GPUPid(g), fmt.Sprintf("gpu%d", g))
+		m.tr.NameThread(trace.GPUPid(g), trace.TIDSync, "sync")
+	}
+	for pl := 0; pl < m.HW.NumSwitchPlanes; pl++ {
+		pid := trace.SwitchPid(pl)
+		m.tr.NameProcess(pid, fmt.Sprintf("switch plane%d", pl))
+		for g := 0; g < m.HW.NumGPUs; g++ {
+			m.tr.NameThread(pid, trace.TIDUplinkBase+int32(g), fmt.Sprintf("uplink g%d", g))
+			m.tr.NameThread(pid, trace.TIDDownlinkBase+int32(g), fmt.Sprintf("downlink g%d", g))
+		}
+	}
+}
+
+// registerGauges feeds machine-wide aggregates into the metric registry;
+// all are lazily evaluated at snapshot time, so assembly pays nothing on
+// the hot path.
+func (m *Machine) registerGauges() {
+	m.reg.GaugeFunc("sim.now_us", func() float64 { return m.Eng.Now().Microseconds() })
+	m.reg.GaugeFunc("sim.steps", func() float64 { return float64(m.Eng.Steps()) })
+	m.reg.GaugeFunc("machine.published_tiles", func() float64 { return float64(m.PublishedTiles) })
+	m.reg.GaugeFunc("machine.merge_hwm_bytes", func() float64 { return float64(m.MergeTableHighWater()) })
+	m.reg.GaugeFunc("noc.up.wire_bytes", func() float64 { up, _ := m.DirectionTraffic(); return float64(up) })
+	m.reg.GaugeFunc("noc.down.wire_bytes", func() float64 { _, down := m.DirectionTraffic(); return float64(down) })
+	m.reg.GaugeFunc("noc.up.busy_us", func() float64 { up, _ := m.DirectionBusy(); return up.Microseconds() })
+	m.reg.GaugeFunc("noc.down.busy_us", func() float64 { _, down := m.DirectionBusy(); return down.Microseconds() })
+	m.reg.GaugeFunc("gpu.tbs_run", func() float64 {
+		var n int64
+		for _, g := range m.GPUs {
+			n += g.TBsRun
+		}
+		return float64(n)
+	})
+	m.reg.GaugeFunc("gpu.requests_sent", func() float64 {
+		var n int64
+		for _, g := range m.GPUs {
+			n += g.RequestsSent
+		}
+		return float64(n)
+	})
+	m.reg.GaugeFunc("gpu.bytes_requested", func() float64 {
+		var n int64
+		for _, g := range m.GPUs {
+			n += g.BytesRequested
+		}
+		return float64(n)
+	})
+	m.reg.GaugeFunc("machine.kernels_launched", func() float64 { return float64(len(m.KernelSpans)) })
+}
+
+// Metrics exposes the machine's central metric registry.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
 
 // UpLink returns the GPU->switch link for (plane, gpu).
 func (m *Machine) UpLink(plane, g int) *noc.Link { return m.upLink[plane][g] }
@@ -198,11 +282,10 @@ func (m *Machine) NewBuffer() int {
 }
 
 // SwitchStats folds the per-plane switch statistics.
-func (m *Machine) SwitchStats() nvswitch.Stats {
-	total := nvswitch.NewStats()
-	acc := *total
+func (m *Machine) SwitchStats() nvswitch.Summary {
+	var acc nvswitch.Summary
 	for _, sw := range m.Switches {
-		acc = acc.Merge(sw.Stats())
+		acc = acc.Add(sw.Summary())
 	}
 	return acc
 }

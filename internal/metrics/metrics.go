@@ -34,16 +34,22 @@ func NewUtilSeries(bin sim.Time, links int) *UtilSeries {
 }
 
 // RecordBusy implements noc.BusyRecorder: the interval [start, end) is
-// distributed across the bins it overlaps.
+// distributed across the bins it overlaps. The bin slice is pre-sized from
+// the interval end, so a long interval costs one grow instead of one
+// append per bin it spans.
 func (s *UtilSeries) RecordBusy(start, end sim.Time, bytes int64) {
 	if end <= start {
 		return
 	}
+	if start < 0 {
+		start = 0
+	}
+	last := int((end - 1) / s.bin)
+	if last >= len(s.busy) {
+		s.busy = append(s.busy, make([]sim.Time, last+1-len(s.busy))...)
+	}
 	for t := start; t < end; {
 		idx := int(t / s.bin)
-		for idx >= len(s.busy) {
-			s.busy = append(s.busy, 0)
-		}
 		binEnd := sim.Time(idx+1) * s.bin
 		seg := binEnd
 		if end < seg {
@@ -129,7 +135,11 @@ func (t *Table) Addf(cells ...interface{}) {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.3g", v)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				row[i] = "n/a"
+			} else {
+				row[i] = fmt.Sprintf("%.3g", v)
+			}
 		case sim.Time:
 			row[i] = v.String()
 		default:

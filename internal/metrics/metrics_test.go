@@ -93,6 +93,59 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestUtilSeriesLongIntervalPreSizes is the regression test for the
+// RecordBusy growth fix: one interval spanning many bins must pre-size the
+// bin slice in a single grow and still conserve busy time.
+func TestUtilSeriesLongIntervalPreSizes(t *testing.T) {
+	bin := sim.Microsecond
+	s := NewUtilSeries(bin, 1)
+	const bins = 200_000
+	start := 500 * sim.Nanosecond
+	end := sim.Time(bins)*bin + 500*sim.Nanosecond
+	s.RecordBusy(start, end, 0)
+	if len(s.busy) != bins+1 {
+		t.Fatalf("bins = %d, want %d", len(s.busy), bins+1)
+	}
+	if c := cap(s.busy); c < bins+1 {
+		t.Fatalf("cap = %d, want >= %d", c, bins+1)
+	}
+	var total sim.Time
+	for _, b := range s.busy {
+		if b > bin {
+			t.Fatalf("bin overfilled: %v > %v", b, bin)
+		}
+		total += b
+	}
+	if total != end-start {
+		t.Fatalf("binned total = %v, want %v", total, end-start)
+	}
+	// Interior bins are fully busy; the two edge bins are half busy.
+	if s.busy[0] != bin-start || s.busy[bins] != 500*sim.Nanosecond {
+		t.Fatalf("edge bins = %v/%v", s.busy[0], s.busy[bins])
+	}
+	u := s.Utilization()
+	if u[1] != 1 || u[bins/2] != 1 {
+		t.Fatalf("interior bins must be fully utilized: %v %v", u[1], u[bins/2])
+	}
+}
+
+// TestAddfNonFiniteFloats guards the Addf rendering fix: NaN and ±Inf must
+// render as an explicit "n/a" instead of %.3g garbage.
+func TestAddfNonFiniteFloats(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.Addf(math.NaN(), math.Inf(1), math.Inf(-1), 1.25)
+	got := tb.Rows[0]
+	want := []string{"n/a", "n/a", "n/a", "1.25"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d = %q, want %q (row %v)", i, got[i], want[i], got)
+		}
+	}
+	if out := tb.String(); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("rendered table leaks non-finite values:\n%s", out)
+	}
+}
+
 func TestUtilSeriesRejectsBadBin(t *testing.T) {
 	defer func() {
 		if recover() == nil {

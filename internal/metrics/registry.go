@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Registry is the central metric registry: every subsystem registers its
+// counters, gauges and histograms by name (naming scheme:
+// "subsystem.metric", optionally with an instance segment such as
+// "nvswitch.plane0.merged_loads") and the registry snapshots them into a
+// machine-readable run report.
+//
+// Registration is idempotent per (name, kind); registering the same name
+// with a different kind panics — two subsystems fighting over one name is
+// a wiring bug. The registry is not goroutine-safe: the simulation engine
+// is single-threaded and metric updates happen only on the event loop.
+type Registry struct {
+	items map[string]metric
+}
+
+type metric interface {
+	snap(name string) Metric
+	kind() string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]metric)}
+}
+
+// Len reports how many metrics are registered.
+func (r *Registry) Len() int { return len(r.items) }
+
+func (r *Registry) register(name, kind string, create func() metric) metric {
+	if existing, ok := r.items[name]; ok {
+		if existing.kind() != kind {
+			panic(fmt.Sprintf("metrics: %q registered as %s and %s", name, existing.kind(), kind))
+		}
+		return existing
+	}
+	m := create()
+	r.items[name] = m
+	return m
+}
+
+// Counter returns the named monotonic counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.register(name, "counter", func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the named settable gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.register(name, "gauge", func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a lazily-evaluated gauge: fn is called at snapshot
+// time. It lets existing subsystem state feed the registry without rewiring
+// hot paths. Re-registering the same name replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if existing, ok := r.items[name]; ok {
+		if g, isFn := existing.(*funcGauge); isFn {
+			g.fn = fn
+			return
+		}
+		panic(fmt.Sprintf("metrics: %q registered as %s and func-gauge", name, existing.kind()))
+	}
+	r.items[name] = &funcGauge{fn: fn}
+}
+
+// Hist returns the named weighted histogram, creating it on first use.
+func (r *Registry) Hist(name string) *Hist {
+	return r.register(name, "hist", func() metric { return newHist() }).(*Hist)
+}
+
+// Snapshot captures every registered metric, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	names := make([]string, 0, len(r.items))
+	for n := range r.items {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := Snapshot{Metrics: make([]Metric, 0, len(names))}
+	for _, n := range names {
+		out.Metrics = append(out.Metrics, r.items[n].snap(n))
+	}
+	return out
+}
+
+// WriteJSON serializes a snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// Counter is a monotonic int64 counter. Add/Inc are allocation-free and
+// safe on the simulation hot path.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+func (c *Counter) kind() string { return "counter" }
+func (c *Counter) snap(name string) Metric {
+	return Metric{Name: name, Kind: "counter", Value: float64(c.v)}
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value reports the stored value.
+func (g *Gauge) Value() float64 { return g.v }
+
+func (g *Gauge) kind() string { return "gauge" }
+func (g *Gauge) snap(name string) Metric {
+	return Metric{Name: name, Kind: "gauge", Value: g.v}
+}
+
+type funcGauge struct{ fn func() float64 }
+
+func (g *funcGauge) kind() string { return "gauge" }
+func (g *funcGauge) snap(name string) Metric {
+	return Metric{Name: name, Kind: "gauge", Value: g.fn()}
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts weight for values in (2^(i-1), 2^i] (bucket 0 holds (0, 1]).
+const histBuckets = 64
+
+// Hist is a weighted power-of-two histogram. Observations carry a weight,
+// which makes it a time-weighted histogram when the weight is a duration
+// (e.g. "merge-table occupancy weighted by how long it persisted") and a
+// plain frequency histogram with weight 1.
+type Hist struct {
+	buckets [histBuckets]float64
+	count   int64
+	sum     float64
+	wsum    float64
+	min     float64
+	max     float64
+}
+
+func newHist() *Hist { return &Hist{min: math.Inf(1), max: math.Inf(-1)} }
+
+// Observe records v with weight 1.
+func (h *Hist) Observe(v float64) { h.ObserveWeighted(v, 1) }
+
+// ObserveWeighted records v with the given weight (non-positive weights
+// are ignored). NaN values are ignored.
+func (h *Hist) ObserveWeighted(v, weight float64) {
+	if weight <= 0 || math.IsNaN(v) {
+		return
+	}
+	h.count++
+	h.sum += v * weight
+	h.wsum += weight
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)] += weight
+}
+
+// bucketOf maps a value to the bucket index i with 2^(i-1) < v <= 2^i.
+func bucketOf(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	b := exp
+	if frac == 0.5 { // exact power of two belongs to the lower bucket
+		b = exp - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Count reports the number of observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Mean reports the weighted mean of observations (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.wsum == 0 {
+		return 0
+	}
+	return h.sum / h.wsum
+}
+
+// Max reports the largest observed value (0 when empty).
+func (h *Hist) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+func (h *Hist) kind() string { return "hist" }
+func (h *Hist) snap(name string) Metric {
+	m := Metric{Name: name, Kind: "hist", Value: h.Mean(), Count: h.count}
+	if h.count > 0 {
+		m.Min, m.Max, m.Sum = h.min, h.max, h.sum
+		for i, w := range h.buckets {
+			if w == 0 {
+				continue
+			}
+			m.Buckets = append(m.Buckets, Bucket{UpperBound: math.Ldexp(1, i), Weight: w})
+		}
+	}
+	return m
+}
+
+// Metric is one snapshotted metric, JSON-ready. Value carries the counter
+// or gauge value; for histograms it is the weighted mean.
+type Metric struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Value   float64  `json:"value"`
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Min     float64  `json:"min,omitempty"`
+	Max     float64  `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one histogram bucket: accumulated weight for values in
+// (UpperBound/2, UpperBound].
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Weight     float64 `json:"weight"`
+}
+
+// Snapshot is a machine-readable capture of a registry: the structured
+// telemetry block attached to run results and serialized by -metrics-json.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Get looks a metric up by name.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Value returns a metric's value by name (0 when absent).
+func (s Snapshot) Value(name string) float64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+// Len reports how many metrics the snapshot holds.
+func (s Snapshot) Len() int { return len(s.Metrics) }
+
+// WriteJSON serializes the snapshot with stable ordering.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

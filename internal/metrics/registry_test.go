@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCountersGaugesIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("nvswitch.plane0.merged_loads")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("nvswitch.plane0.merged_loads") != c {
+		t.Fatal("Counter must be idempotent per name")
+	}
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("gpu.free_slots")
+	g.Set(42)
+	if r.Gauge("gpu.free_slots").Value() != 42 {
+		t.Fatal("gauge roundtrip failed")
+	}
+	r.GaugeFunc("sim.steps", func() float64 { return 7 })
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind collision must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotSortedAndQueryable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Add(1)
+	r.GaugeFunc("c.three", func() float64 { return 3 })
+	s := r.Snapshot()
+	if s.Len() != 3 {
+		t.Fatalf("snapshot len = %d", s.Len())
+	}
+	names := []string{s.Metrics[0].Name, s.Metrics[1].Name, s.Metrics[2].Name}
+	if names[0] != "a.one" || names[1] != "b.two" || names[2] != "c.three" {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	if s.Value("b.two") != 2 || s.Value("c.three") != 3 {
+		t.Fatalf("values wrong: %+v", s.Metrics)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on missing name must report false")
+	}
+}
+
+func TestHistWeightedStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Hist("nvswitch.session_lifetime_us")
+	h.Observe(2)
+	h.ObserveWeighted(10, 3) // time-weighted: value 10 held for 3 units
+	h.ObserveWeighted(5, 0)  // ignored: non-positive weight
+	h.Observe(math.NaN())    // ignored
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	want := (2.0*1 + 10.0*3) / 4.0
+	if math.Abs(h.Mean()-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", h.Mean(), want)
+	}
+	if h.Max() != 10 {
+		t.Fatalf("max = %v, want 10", h.Max())
+	}
+	m := h.snap("x")
+	if m.Kind != "hist" || m.Count != 2 || m.Min != 2 || m.Max != 10 {
+		t.Fatalf("snapshot = %+v", m)
+	}
+	var totalW float64
+	for _, b := range m.Buckets {
+		totalW += b.Weight
+	}
+	if totalW != 4 {
+		t.Fatalf("bucket weight = %v, want 4", totalW)
+	}
+}
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.1, 2}, {4, 2}, {5, 3},
+		{1 << 20, 20}, {math.MaxFloat64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Fatalf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundtrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("noc.up.wire_bytes").Add(1024)
+	r.Hist("gpu.tb_us").Observe(3)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, sb.String())
+	}
+	if s.Value("noc.up.wire_bytes") != 1024 {
+		t.Fatalf("roundtrip value = %v", s.Value("noc.up.wire_bytes"))
+	}
+	m, ok := s.Get("gpu.tb_us")
+	if !ok || m.Kind != "hist" || m.Count != 1 {
+		t.Fatalf("hist roundtrip = %+v ok=%v", m, ok)
+	}
+}
+
+func TestCounterHotPathAllocatesNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	h := r.Hist("hot_hist")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(2)
+	}); allocs != 0 {
+		t.Fatalf("metric hot path allocates %v/op, want 0", allocs)
+	}
+}

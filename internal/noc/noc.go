@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"cais/internal/sim"
+	"cais/internal/trace"
 )
 
 // Op identifies the semantic operation a packet carries. The first group
@@ -212,6 +213,11 @@ type Link struct {
 	pkts     int64
 	recorder BusyRecorder
 	maxQueue int
+
+	tr     *trace.Tracer
+	trPid  int32
+	trTid  int32
+	traced bool
 }
 
 // NewLink creates a link delivering to dst. The control sideband is
@@ -220,7 +226,16 @@ func NewLink(eng *sim.Engine, name string, bytesPerSecond float64, latency sim.T
 	if bytesPerSecond <= 0 {
 		panic("noc: link bandwidth must be positive")
 	}
-	return &Link{Name: name, eng: eng, bw: bytesPerSecond, latency: latency, dst: dst, sideband: true}
+	return &Link{Name: name, eng: eng, bw: bytesPerSecond, latency: latency, dst: dst, sideband: true,
+		tr: trace.FromEngine(eng)}
+}
+
+// TraceOn places the link's busy intervals on a trace track: every
+// transmitted packet becomes a complete span on (pid, tid). The assembly
+// layer assigns tracks; without it the link records nothing.
+func (l *Link) TraceOn(pid, tid int32) {
+	l.trPid, l.trTid = pid, tid
+	l.traced = l.tr.Enabled()
 }
 
 // SetControlSideband enables (default) or disables the dedicated channel
@@ -343,6 +358,9 @@ func (l *Link) transmitNext() {
 	l.pkts++
 	if l.recorder != nil {
 		l.recorder.RecordBusy(start, end, wire)
+	}
+	if l.traced {
+		l.tr.Span(l.trPid, l.trTid, "noc.link", p.Op.String(), start, end)
 	}
 	// Cut-through delivery: the head arrives after latency, the tail
 	// after latency + serialization.

@@ -5,6 +5,7 @@ import (
 
 	"cais/internal/noc"
 	"cais/internal/sim"
+	"cais/internal/trace"
 )
 
 // SessionState is the state a merging-table entry tracks (Fig. 5).
@@ -49,6 +50,7 @@ type session struct {
 	flush    bool          // evict as soon as the pending response arrives
 	tag      interface{}
 	onDone   []func() // reduction contributors' completions
+	traceID  uint64   // async-span id while tracing (0 = untraced)
 }
 
 // ArrivalHook, when set, observes every red.cais arrival (diagnostics).
@@ -114,6 +116,8 @@ type MergeUnit struct {
 	policy        EvictionPolicy
 	numGPUs       int
 	nextID        uint64
+	tr            *trace.Tracer
+	pid           int32
 }
 
 func newMergeUnit(eng *sim.Engine, name string, capacity int64, timeout sim.Time, stats *Stats) *MergeUnit {
@@ -161,10 +165,10 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 			// Data still pending: append the request metadata to the
 			// content array for a deferred response.
 			s.waiters = append(s.waiters, p)
-			m.stats.MergedLoads++
+			m.stats.mergedLoads.Inc()
 		case LoadReady:
 			// Serve immediately from cached data.
-			m.stats.MergedLoads++
+			m.stats.mergedLoads.Inc()
 			m.respond(s, p)
 			if s.count >= s.expected {
 				m.release(s)
@@ -176,7 +180,10 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 	// metadata); on capacity pressure, evict LRU evictable entries; if
 	// nothing is evictable, bypass the merge unit.
 	if !m.reserve(loadMetaBytes) {
-		m.stats.BypassLoads++
+		m.stats.bypassLoads.Inc()
+		if m.tr.Enabled() {
+			m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "load bypass", now)
+		}
 		m.forwardPlainLoad(p)
 		return
 	}
@@ -186,7 +193,7 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 		waiters: []*noc.Packet{p}, tag: p.Tag,
 	}
 	m.insert(s)
-	m.stats.LoadFetches++
+	m.stats.loadFetches.Inc()
 	// Forward the fetch to the home GPU through the standard routing path.
 	fetch := &noc.Packet{
 		ID: m.id(), Op: noc.OpLoad, Addr: p.Addr, Home: p.Home,
@@ -230,7 +237,7 @@ func (m *MergeUnit) HandleResponse(p *noc.Packet, tag *mergeRespTag) {
 		ok := m.reserve(grow)
 		s.pinned = false
 		if !ok {
-			m.stats.Evictions++
+			m.stats.evictions.Inc()
 			m.release(s)
 			return
 		}
@@ -287,7 +294,10 @@ func (m *MergeUnit) HandleReduction(p *noc.Packet) {
 		if !m.reserve(p.Size) {
 			// Bypass: forward the lone contribution straight to the home
 			// GPU, which folds it in at HBM cost.
-			m.stats.BypassReds++
+			m.stats.bypassReds.Inc()
+			if m.tr.Enabled() {
+				m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "red bypass", now)
+			}
 			m.forwardPartial(p.Addr, p.Size, p.Group, 1, p.Tag, p.OnDone)
 			return
 		}
@@ -304,9 +314,9 @@ func (m *MergeUnit) HandleReduction(p *noc.Packet) {
 	if p.OnDone != nil {
 		s.onDone = append(s.onDone, p.OnDone)
 	}
-	m.stats.MergedReds++
+	m.stats.mergedReds.Inc()
 	if s.count >= s.expected {
-		m.stats.CompletedReds++
+		m.stats.completedReds.Inc()
 		m.finishReduction(s)
 	}
 }
@@ -407,7 +417,10 @@ func (m *MergeUnit) evictOne() bool {
 	if victim == nil {
 		return false
 	}
-	m.stats.Evictions++
+	m.stats.evictions.Inc()
+	if m.tr.Enabled() {
+		m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "evict "+victim.state.String(), m.eng.Now())
+	}
 	m.evict(victim)
 	return true
 }
@@ -417,13 +430,13 @@ func (m *MergeUnit) evict(s *session) {
 		// A broadcast session cannot flush partials to a home replica;
 		// it completes in place (all contributions are counted at the
 		// receivers, so partial broadcasts stay correct).
-		m.stats.PartialFlushes++
+		m.stats.partialFlushes.Inc()
 		m.finishReduction(s)
 		return
 	}
 	if s.state == Reduction {
 		// Flush the partial result to the home GPU.
-		m.stats.PartialFlushes++
+		m.stats.partialFlushes.Inc()
 		m.forwardPartial(s.addr, s.size, s.group, s.count, s.tag, nil)
 		for _, done := range s.onDone {
 			m.eng.After(0, done)
@@ -439,6 +452,13 @@ func (m *MergeUnit) release(s *session) {
 		return
 	}
 	m.recordSkew(s)
+	if s.traceID != 0 {
+		name := "merge load"
+		if s.state == Reduction {
+			name = "merge red"
+		}
+		m.tr.EndAsync(m.pid, "nvswitch.merge", name, s.traceID, m.eng.Now())
+	}
 	delete(m.sessions, s.addr)
 	m.used -= s.size
 	if m.used < 0 {
@@ -454,6 +474,14 @@ func (m *MergeUnit) recordSkew(s *session) {
 }
 
 func (m *MergeUnit) insert(s *session) {
+	if m.tr.Enabled() {
+		s.traceID = m.tr.NextID()
+		name := "merge load"
+		if s.state == Reduction {
+			name = "merge red"
+		}
+		m.tr.BeginAsync(m.pid, "nvswitch.merge", name, s.traceID, s.first)
+	}
 	m.sessions[s.addr] = s
 	m.order = append(m.order, s.addr)
 	// Compact the order slice opportunistically once it accumulates
@@ -487,7 +515,10 @@ func (m *MergeUnit) armTimeout(s *session) {
 			m.armTimeout(cur)
 			return
 		}
-		m.stats.TimeoutEvictions++
+		m.stats.timeoutEvictions.Inc()
+		if m.tr.Enabled() {
+			m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "timeout", m.eng.Now())
+		}
 		if cur.state == LoadWait {
 			// Defer until the response arrives (Sec. III-A-4).
 			cur.flush = true

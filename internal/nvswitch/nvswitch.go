@@ -9,8 +9,10 @@ package nvswitch
 import (
 	"fmt"
 
+	"cais/internal/metrics"
 	"cais/internal/noc"
 	"cais/internal/sim"
+	"cais/internal/trace"
 )
 
 // Config parameterizes one switch plane.
@@ -32,6 +34,11 @@ type Config struct {
 
 	// Eviction selects the merge unit's victim policy (default LRU).
 	Eviction EvictionPolicy
+
+	// Metrics, when set, is the central registry the plane's statistics
+	// register into (as "nvswitch.plane<N>.<metric>"). Nil means a private
+	// per-plane registry (standalone tests).
+	Metrics *metrics.Registry
 }
 
 // Switch is one NVSwitch plane. It terminates the per-GPU uplinks (it is
@@ -48,6 +55,8 @@ type Switch struct {
 	sync     map[syncTableKey]*syncEntry
 
 	stats  *Stats
+	tr     *trace.Tracer
+	pid    int32
 	nextID uint64
 }
 
@@ -87,6 +96,10 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 	if cfg.NumGPUs < 1 {
 		panic("nvswitch: NumGPUs must be >= 1")
 	}
+	st := NewStats()
+	if cfg.Metrics != nil {
+		st = NewStatsIn(cfg.Metrics, fmt.Sprintf("nvswitch.plane%d", cfg.Plane))
+	}
 	s := &Switch{
 		eng:      eng,
 		cfg:      cfg,
@@ -95,7 +108,9 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		nvlsRed:  make(map[uint64]*nvlsRedSession),
 		nvlsPull: make(map[pullKey]*nvlsPullSession),
 		sync:     make(map[syncTableKey]*syncEntry),
-		stats:    NewStats(),
+		stats:    st,
+		tr:       trace.FromEngine(eng),
+		pid:      trace.SwitchPid(cfg.Plane),
 	}
 	for g := 0; g < cfg.NumGPUs; g++ {
 		s.port[g] = newMergeUnit(eng, fmt.Sprintf("sw%d.port%d", cfg.Plane, g), cfg.MergeCapacity, cfg.MergeTimeout, s.stats)
@@ -104,6 +119,8 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		s.port[g].creditLatency = cfg.CreditLatency
 		s.port[g].policy = cfg.Eviction
 		s.port[g].numGPUs = cfg.NumGPUs
+		s.port[g].tr = s.tr
+		s.port[g].pid = s.pid
 	}
 	return s
 }
@@ -114,6 +131,9 @@ func (s *Switch) ConnectDown(gpu int, link *noc.Link) { s.down[gpu] = link }
 
 // Stats returns the plane's statistics collector.
 func (s *Switch) Stats() *Stats { return s.stats }
+
+// Summary captures the plane's statistics into a plain value.
+func (s *Switch) Summary() Summary { return s.stats.Summary() }
 
 // Port returns the merge unit of the given GPU-facing port.
 func (s *Switch) Port(gpu int) *MergeUnit { return s.port[gpu] }
@@ -186,7 +206,7 @@ func (s *Switch) handleLoadResp(p *noc.Packet) {
 // handleMulticastStore implements the NVLS push-mode AllGather step: one
 // uplink payload is replicated to every peer's downlink.
 func (s *Switch) handleMulticastStore(p *noc.Packet) {
-	s.stats.MulticastStores++
+	s.stats.multicastStores.Inc()
 	for g := 0; g < s.cfg.NumGPUs; g++ {
 		if g == p.Src {
 			continue
@@ -219,7 +239,7 @@ func (s *Switch) handlePullReduce(p *noc.Packet) {
 		OnDone: p.OnDone, Tag: p.Tag, Contribs: s.cfg.NumGPUs,
 	}
 	s.nvlsPull[key] = &nvlsPullSession{pending: s.cfg.NumGPUs, resp: resp}
-	s.stats.PullReduces++
+	s.stats.pullReduces.Inc()
 	for g := 0; g < s.cfg.NumGPUs; g++ {
 		fan := &noc.Packet{
 			ID: s.id(), Op: noc.OpReadFan, Addr: p.Addr, Home: g,
@@ -265,7 +285,7 @@ func (s *Switch) handlePushReduce(p *noc.Packet) {
 		return
 	}
 	delete(s.nvlsRed, p.Addr)
-	s.stats.PushReduces++
+	s.stats.pushReduces.Inc()
 	targets := []int{sess.home}
 	if sess.bcast {
 		targets = targets[:0]
@@ -309,7 +329,10 @@ func (s *Switch) handleSync(p *noc.Packet) {
 		return
 	}
 	delete(s.sync, key)
-	s.stats.SyncReleases++
+	s.stats.syncReleases.Inc()
+	if s.tr.Enabled() {
+		s.tr.Instant(s.pid, int32(p.Group), "nvswitch.sync", "sync release", s.eng.Now())
+	}
 	for g := 0; g < s.cfg.NumGPUs; g++ {
 		if !e.seen[g] {
 			continue

@@ -97,7 +97,7 @@ func TestLoadMergingFetchesOnceServesAll(t *testing.T) {
 	if done != 3 {
 		t.Fatalf("OnDone fired %d times, want 3", done)
 	}
-	st := r.sw.Stats()
+	st := r.sw.Summary()
 	if st.LoadFetches != 1 || st.MergedLoads != 2 {
 		t.Fatalf("stats fetches=%d merged=%d, want 1/2", st.LoadFetches, st.MergedLoads)
 	}
@@ -156,7 +156,7 @@ func TestReductionMergingSingleDownstreamWrite(t *testing.T) {
 	if done != 3 {
 		t.Fatalf("contributor OnDone fired %d, want 3", done)
 	}
-	st := r.sw.Stats()
+	st := r.sw.Summary()
 	if st.CompletedReds != 1 || st.MergedReds != 3 {
 		t.Fatalf("stats completed=%d merged=%d", st.CompletedReds, st.MergedReds)
 	}
@@ -175,7 +175,7 @@ func TestReductionTimeoutFlushesPartial(t *testing.T) {
 	if p.Contribs != 1 {
 		t.Fatalf("partial flush carries %d contribs, want 1", p.Contribs)
 	}
-	st := r.sw.Stats()
+	st := r.sw.Summary()
 	if st.TimeoutEvictions != 1 || st.PartialFlushes != 1 {
 		t.Fatalf("timeout=%d flushes=%d, want 1/1", st.TimeoutEvictions, st.PartialFlushes)
 	}
@@ -218,7 +218,7 @@ func TestCapacityPressureEvictsLRUReduction(t *testing.T) {
 		r.send(2, &noc.Packet{Op: noc.OpRedCAIS, Addr: 0x600, Home: 0, Src: 2, Size: 1024, Contribs: 3})
 	})
 	r.eng.Run()
-	st := r.sw.Stats()
+	st := r.sw.Summary()
 	if st.Evictions != 1 {
 		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
@@ -247,7 +247,7 @@ func TestCapacityPressureBypassesWhenNothingEvictable(t *testing.T) {
 			OnDone: func() { got++ }})
 	})
 	r.eng.Run()
-	st := r.sw.Stats()
+	st := r.sw.Summary()
 	if st.BypassLoads != 1 {
 		t.Fatalf("bypasses = %d, want 1", st.BypassLoads)
 	}
@@ -331,8 +331,8 @@ func TestPushReduceBroadcastsWhenDstNegative(t *testing.T) {
 			t.Fatalf("gpu %d results = %d, want 1 (broadcast)", g, r.gpus[g].countOp(noc.OpMultimemRed))
 		}
 	}
-	if r.sw.Stats().PushReduces != 1 {
-		t.Fatalf("push reduce sessions = %d, want 1", r.sw.Stats().PushReduces)
+	if r.sw.Summary().PushReduces != 1 {
+		t.Fatalf("push reduce sessions = %d, want 1", r.sw.Summary().PushReduces)
 	}
 }
 
@@ -376,8 +376,8 @@ func TestGroupSyncReleasesAllRegistrants(t *testing.T) {
 		}
 	}
 	_ = releaseTimes
-	if r.sw.Stats().SyncReleases != 1 {
-		t.Fatalf("sync releases = %d, want 1", r.sw.Stats().SyncReleases)
+	if r.sw.Summary().SyncReleases != 1 {
+		t.Fatalf("sync releases = %d, want 1", r.sw.Summary().SyncReleases)
 	}
 }
 
@@ -402,13 +402,11 @@ func TestSkewStatsMeasureArrivalSpread(t *testing.T) {
 	}
 }
 
-func TestStatsMerge(t *testing.T) {
-	a, b := NewStats(), NewStats()
-	a.MergedLoads, b.MergedLoads = 3, 4
-	a.skewSum, a.skewCount = 10*sim.Microsecond, 2
-	b.skewSum, b.skewCount = 20*sim.Microsecond, 1
-	b.skewMax = 15 * sim.Microsecond
-	m := a.Merge(b)
+func TestSummaryAddFoldsPlanes(t *testing.T) {
+	a := Summary{MergedLoads: 3, SkewSum: 10 * sim.Microsecond, SkewCount: 2}
+	b := Summary{MergedLoads: 4, SkewSum: 20 * sim.Microsecond, SkewCount: 1,
+		SkewMax: 15 * sim.Microsecond}
+	m := a.Add(b)
 	if m.MergedLoads != 7 {
 		t.Fatalf("merged loads = %d, want 7", m.MergedLoads)
 	}
@@ -417,6 +415,10 @@ func TestStatsMerge(t *testing.T) {
 	}
 	if m.MaxSkew() != 15*sim.Microsecond {
 		t.Fatalf("max skew = %v, want 15us", m.MaxSkew())
+	}
+	// Add must not mutate its receiver (value semantics).
+	if a.MergedLoads != 3 || a.SkewMax != 0 {
+		t.Fatalf("Add mutated receiver: %+v", a)
 	}
 }
 

@@ -1,10 +1,191 @@
 package nvswitch
 
-import "cais/internal/sim"
+import (
+	"cais/internal/metrics"
+	"cais/internal/sim"
+)
 
-// Stats aggregates switch-plane behavior. One Stats instance is shared by
-// a plane's ports; experiments sum across planes.
+// Stats is the live per-plane statistics collector. Every quantity is a
+// named counter/gauge/histogram in a metrics.Registry (naming scheme
+// "<prefix>.<metric>", e.g. "nvswitch.plane0.merged_loads"), so the same
+// numbers that drive the paper's figures also appear in machine-readable
+// run reports. One Stats instance is shared by a plane's ports;
+// experiments fold planes together with Summary.
 type Stats struct {
+	// NVLS unit.
+	multicastStores *metrics.Counter // multimem.st replications
+	pullReduces     *metrics.Counter // completed multimem.ld_reduce sessions
+	pushReduces     *metrics.Counter // completed multimem.red sessions
+
+	// Merge unit (Micro-Functions 1 and 2).
+	mergedLoads   *metrics.Counter // ld.cais requests absorbed by an existing session
+	loadFetches   *metrics.Counter // fetches issued to home GPUs (one per session)
+	bypassLoads   *metrics.Counter // loads forwarded unmerged (table saturated)
+	mergedReds    *metrics.Counter // red.cais contributions accepted into sessions
+	completedReds *metrics.Counter // reduction sessions that gathered all contributions
+	bypassReds    *metrics.Counter // contributions forwarded unmerged
+
+	// Eviction machinery.
+	evictions        *metrics.Counter // LRU capacity evictions
+	partialFlushes   *metrics.Counter // partial reduction results flushed to home GPUs
+	timeoutEvictions *metrics.Counter // forward-progress timeouts
+
+	// Group Sync Table.
+	syncReleases *metrics.Counter
+
+	// Session lifetime (first arrival to release).
+	sessLifeSumPS *metrics.Counter
+	sessLifeCount *metrics.Counter
+	sessLifeUS    *metrics.Hist
+
+	// Per-address request skew: the delay between the earliest and latest
+	// requests targeting the same address (the paper's "average waiting
+	// time", Fig. 13b). Tracked independently of merge-session lifetime so
+	// evictions don't hide skew. The open-address map is collector state;
+	// completed spreads accumulate into the registry.
+	skew        map[uint64]*skewEntry
+	skewSumPS   *metrics.Counter
+	skewCount   *metrics.Counter
+	skewMaxPS   *metrics.Gauge
+	skewUS      *metrics.Hist
+	ldSkewSumPS *metrics.Counter
+	ldSkewCount *metrics.Counter
+	redSkewSum  *metrics.Counter
+	redSkewCnt  *metrics.Counter
+}
+
+type skewEntry struct {
+	first    sim.Time
+	last     sim.Time
+	seen     int
+	expected int
+}
+
+// NewStats returns a collector backed by a private registry (standalone
+// switch tests); system assembly uses NewStatsIn with the machine's
+// central registry.
+func NewStats() *Stats { return NewStatsIn(metrics.NewRegistry(), "nvswitch") }
+
+// NewStatsIn returns a collector whose metrics register into reg under
+// "<prefix>.<metric>" names.
+func NewStatsIn(reg *metrics.Registry, prefix string) *Stats {
+	c := func(name string) *metrics.Counter { return reg.Counter(prefix + "." + name) }
+	return &Stats{
+		multicastStores:  c("multicast_stores"),
+		pullReduces:      c("pull_reduces"),
+		pushReduces:      c("push_reduces"),
+		mergedLoads:      c("merged_loads"),
+		loadFetches:      c("load_fetches"),
+		bypassLoads:      c("bypass_loads"),
+		mergedReds:       c("merged_reds"),
+		completedReds:    c("completed_reds"),
+		bypassReds:       c("bypass_reds"),
+		evictions:        c("evictions"),
+		partialFlushes:   c("partial_flushes"),
+		timeoutEvictions: c("timeout_evictions"),
+		syncReleases:     c("sync_releases"),
+		sessLifeSumPS:    c("session_lifetime_sum_ps"),
+		sessLifeCount:    c("session_lifetime_count"),
+		sessLifeUS:       reg.Hist(prefix + ".session_lifetime_us"),
+		skew:             make(map[uint64]*skewEntry),
+		skewSumPS:        c("skew_sum_ps"),
+		skewCount:        c("skew_count"),
+		skewMaxPS:        reg.Gauge(prefix + ".skew_max_ps"),
+		skewUS:           reg.Hist(prefix + ".skew_us"),
+		ldSkewSumPS:      c("load_skew_sum_ps"),
+		ldSkewCount:      c("load_skew_count"),
+		redSkewSum:       c("reduction_skew_sum_ps"),
+		redSkewCnt:       c("reduction_skew_count"),
+	}
+}
+
+func (st *Stats) noteArrivalKind(addr uint64, expected int, now sim.Time, isLoad bool) {
+	if expected <= 1 {
+		return
+	}
+	e, ok := st.skew[addr]
+	if !ok {
+		e = &skewEntry{first: now, expected: expected}
+		st.skew[addr] = e
+	}
+	e.last = now
+	e.seen++
+	if e.seen >= e.expected {
+		delete(st.skew, addr)
+		d := e.last - e.first
+		st.skewSumPS.Add(int64(d))
+		st.skewCount.Inc()
+		st.skewUS.Observe(d.Microseconds())
+		if d > sim.Time(st.skewMaxPS.Value()) {
+			st.skewMaxPS.Set(float64(d))
+		}
+		if isLoad {
+			st.ldSkewSumPS.Add(int64(d))
+			st.ldSkewCount.Inc()
+		} else {
+			st.redSkewSum.Add(int64(d))
+			st.redSkewCnt.Inc()
+		}
+	}
+}
+
+func (st *Stats) noteSessionLifetime(d sim.Time) {
+	st.sessLifeSumPS.Add(int64(d))
+	st.sessLifeCount.Inc()
+	st.sessLifeUS.Observe(d.Microseconds())
+}
+
+// OpenSkewAddrs reports how many addresses are mid-observation (expected
+// arrivals not yet all seen) — diagnostics for tests.
+func (st *Stats) OpenSkewAddrs() int { return len(st.skew) }
+
+// Summary captures the collector into a plain value for reporting.
+func (st *Stats) Summary() Summary {
+	return Summary{
+		MulticastStores:  st.multicastStores.Value(),
+		PullReduces:      st.pullReduces.Value(),
+		PushReduces:      st.pushReduces.Value(),
+		MergedLoads:      st.mergedLoads.Value(),
+		LoadFetches:      st.loadFetches.Value(),
+		BypassLoads:      st.bypassLoads.Value(),
+		MergedReds:       st.mergedReds.Value(),
+		CompletedReds:    st.completedReds.Value(),
+		BypassReds:       st.bypassReds.Value(),
+		Evictions:        st.evictions.Value(),
+		PartialFlushes:   st.partialFlushes.Value(),
+		TimeoutEvictions: st.timeoutEvictions.Value(),
+		SyncReleases:     st.syncReleases.Value(),
+		SessLifeSum:      sim.Time(st.sessLifeSumPS.Value()),
+		SessLifeCount:    st.sessLifeCount.Value(),
+		SkewSum:          sim.Time(st.skewSumPS.Value()),
+		SkewCount:        st.skewCount.Value(),
+		SkewMax:          sim.Time(st.skewMaxPS.Value()),
+		LdSkewSum:        sim.Time(st.ldSkewSumPS.Value()),
+		LdSkewCount:      st.ldSkewCount.Value(),
+		RedSkewSum:       sim.Time(st.redSkewSum.Value()),
+		RedSkewCount:     st.redSkewCnt.Value(),
+	}
+}
+
+// Accessor convenience on the live collector (delegates to Summary).
+
+// AvgSkew reports the mean per-address arrival spread observed so far.
+func (st *Stats) AvgSkew() sim.Time { return st.Summary().AvgSkew() }
+
+// MaxSkew reports the largest observed per-address arrival spread.
+func (st *Stats) MaxSkew() sim.Time { return st.Summary().MaxSkew() }
+
+// SkewSamples reports how many addresses contributed to AvgSkew.
+func (st *Stats) SkewSamples() int64 { return st.Summary().SkewSamples() }
+
+// AvgSessionLifetime reports mean merge-session residency.
+func (st *Stats) AvgSessionLifetime() sim.Time { return st.Summary().AvgSessionLifetime() }
+
+// Summary is one plane's (or, after Add, a whole machine's) statistics as
+// a plain value: the reporting API consumed by experiments, the CLI and
+// tests. Field names match the pre-registry Stats fields so call sites
+// read identically.
+type Summary struct {
 	// NVLS unit.
 	MulticastStores int64 // multimem.st replications
 	PullReduces     int64 // completed multimem.ld_reduce sessions
@@ -27,140 +208,83 @@ type Stats struct {
 	SyncReleases int64
 
 	// Session lifetime (first arrival to release).
-	sessLifeSum   sim.Time
-	sessLifeCount int64
+	SessLifeSum   sim.Time
+	SessLifeCount int64
 
-	// Per-address request skew: the delay between the earliest and latest
-	// requests targeting the same address (the paper's "average waiting
-	// time", Fig. 13b). Tracked independently of merge-session lifetime so
-	// evictions don't hide skew.
-	skew      map[uint64]*skewEntry
-	skewSum   sim.Time
-	skewCount int64
-	skewMax   sim.Time
-
-	ldSkewSum    sim.Time
-	ldSkewCount  int64
-	redSkewSum   sim.Time
-	redSkewCount int64
+	// Per-address request skew aggregates.
+	SkewSum      sim.Time
+	SkewCount    int64
+	SkewMax      sim.Time
+	LdSkewSum    sim.Time
+	LdSkewCount  int64
+	RedSkewSum   sim.Time
+	RedSkewCount int64
 }
 
-type skewEntry struct {
-	first    sim.Time
-	last     sim.Time
-	seen     int
-	expected int
-}
-
-// NewStats returns an empty collector.
-func NewStats() *Stats {
-	return &Stats{skew: make(map[uint64]*skewEntry)}
-}
-
-func (st *Stats) noteArrival(addr uint64, src, expected int, now sim.Time) {
-	st.noteArrivalKind(addr, expected, now, false)
-}
-
-func (st *Stats) noteArrivalKind(addr uint64, expected int, now sim.Time, isLoad bool) {
-	if expected <= 1 {
-		return
+// Add folds another summary in (for summing across planes).
+func (s Summary) Add(o Summary) Summary {
+	s.MulticastStores += o.MulticastStores
+	s.PullReduces += o.PullReduces
+	s.PushReduces += o.PushReduces
+	s.MergedLoads += o.MergedLoads
+	s.LoadFetches += o.LoadFetches
+	s.BypassLoads += o.BypassLoads
+	s.MergedReds += o.MergedReds
+	s.CompletedReds += o.CompletedReds
+	s.BypassReds += o.BypassReds
+	s.Evictions += o.Evictions
+	s.PartialFlushes += o.PartialFlushes
+	s.TimeoutEvictions += o.TimeoutEvictions
+	s.SyncReleases += o.SyncReleases
+	s.SessLifeSum += o.SessLifeSum
+	s.SessLifeCount += o.SessLifeCount
+	s.SkewSum += o.SkewSum
+	s.SkewCount += o.SkewCount
+	s.LdSkewSum += o.LdSkewSum
+	s.LdSkewCount += o.LdSkewCount
+	s.RedSkewSum += o.RedSkewSum
+	s.RedSkewCount += o.RedSkewCount
+	if o.SkewMax > s.SkewMax {
+		s.SkewMax = o.SkewMax
 	}
-	e, ok := st.skew[addr]
-	if !ok {
-		e = &skewEntry{first: now, expected: expected}
-		st.skew[addr] = e
-	}
-	e.last = now
-	e.seen++
-	if e.seen >= e.expected {
-		delete(st.skew, addr)
-		d := e.last - e.first
-		st.skewSum += d
-		st.skewCount++
-		if d > st.skewMax {
-			st.skewMax = d
-		}
-		if isLoad {
-			st.ldSkewSum += d
-			st.ldSkewCount++
-		} else {
-			st.redSkewSum += d
-			st.redSkewCount++
-		}
-	}
-}
-
-// AvgLoadSkew reports mean per-address arrival spread for load merging.
-func (st Stats) AvgLoadSkew() sim.Time {
-	if st.ldSkewCount == 0 {
-		return 0
-	}
-	return st.ldSkewSum / sim.Time(st.ldSkewCount)
-}
-
-// AvgReductionSkew reports mean arrival spread for reduction merging.
-func (st Stats) AvgReductionSkew() sim.Time {
-	if st.redSkewCount == 0 {
-		return 0
-	}
-	return st.redSkewSum / sim.Time(st.redSkewCount)
-}
-
-func (st *Stats) noteSessionLifetime(d sim.Time) {
-	st.sessLifeSum += d
-	st.sessLifeCount++
+	return s
 }
 
 // AvgSkew reports the mean delay between the earliest and latest requests
 // to the same address, across all fully-observed addresses.
-func (st Stats) AvgSkew() sim.Time {
-	if st.skewCount == 0 {
+func (s Summary) AvgSkew() sim.Time {
+	if s.SkewCount == 0 {
 		return 0
 	}
-	return st.skewSum / sim.Time(st.skewCount)
+	return s.SkewSum / sim.Time(s.SkewCount)
 }
 
 // MaxSkew reports the largest observed per-address arrival spread.
-func (st Stats) MaxSkew() sim.Time { return st.skewMax }
+func (s Summary) MaxSkew() sim.Time { return s.SkewMax }
 
 // SkewSamples reports how many addresses contributed to AvgSkew.
-func (st Stats) SkewSamples() int64 { return st.skewCount }
+func (s Summary) SkewSamples() int64 { return s.SkewCount }
 
-// AvgSessionLifetime reports mean merge-session residency.
-func (st Stats) AvgSessionLifetime() sim.Time {
-	if st.sessLifeCount == 0 {
+// AvgLoadSkew reports mean per-address arrival spread for load merging.
+func (s Summary) AvgLoadSkew() sim.Time {
+	if s.LdSkewCount == 0 {
 		return 0
 	}
-	return st.sessLifeSum / sim.Time(st.sessLifeCount)
+	return s.LdSkewSum / sim.Time(s.LdSkewCount)
 }
 
-// Merge returns st folded together with other (for summing across planes).
-func (st *Stats) Merge(other *Stats) Stats {
-	out := *st
-	out.MulticastStores += other.MulticastStores
-	out.PullReduces += other.PullReduces
-	out.PushReduces += other.PushReduces
-	out.MergedLoads += other.MergedLoads
-	out.LoadFetches += other.LoadFetches
-	out.BypassLoads += other.BypassLoads
-	out.MergedReds += other.MergedReds
-	out.CompletedReds += other.CompletedReds
-	out.BypassReds += other.BypassReds
-	out.Evictions += other.Evictions
-	out.PartialFlushes += other.PartialFlushes
-	out.TimeoutEvictions += other.TimeoutEvictions
-	out.SyncReleases += other.SyncReleases
-	out.sessLifeSum += other.sessLifeSum
-	out.sessLifeCount += other.sessLifeCount
-	out.skewSum += other.skewSum
-	out.skewCount += other.skewCount
-	out.ldSkewSum += other.ldSkewSum
-	out.ldSkewCount += other.ldSkewCount
-	out.redSkewSum += other.redSkewSum
-	out.redSkewCount += other.redSkewCount
-	if other.skewMax > out.skewMax {
-		out.skewMax = other.skewMax
+// AvgReductionSkew reports mean arrival spread for reduction merging.
+func (s Summary) AvgReductionSkew() sim.Time {
+	if s.RedSkewCount == 0 {
+		return 0
 	}
-	out.skew = nil
-	return out
+	return s.RedSkewSum / sim.Time(s.RedSkewCount)
+}
+
+// AvgSessionLifetime reports mean merge-session residency.
+func (s Summary) AvgSessionLifetime() sim.Time {
+	if s.SessLifeCount == 0 {
+		return 0
+	}
+	return s.SessLifeSum / sim.Time(s.SessLifeCount)
 }

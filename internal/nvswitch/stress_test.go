@@ -95,7 +95,7 @@ func TestMergeUnitStressInvariants(t *testing.T) {
 			}
 		}
 		// Invariant 4: load accounting.
-		st := r.sw.Stats()
+		st := r.sw.Summary()
 		totalLoads := int64(wantResponses)
 		if st.LoadFetches+st.MergedLoads+st.BypassLoads < totalLoads {
 			t.Logf("seed %d: load accounting %d+%d+%d < %d",

@@ -109,6 +109,15 @@ type Engine struct {
 	heap    eventHeap
 	stopped bool
 	limit   uint64 // optional hard step limit guard; 0 disables
+
+	// observer is an opaque attachment slot for cross-cutting
+	// instrumentation (the trace package's Tracer hooks in here, so every
+	// component that holds the engine can find it without new plumbing).
+	observer any
+
+	// Progress heartbeat: fn runs every progEvery executed events.
+	progEvery uint64
+	progress  func(now Time, steps uint64)
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -126,6 +135,26 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // It exists to turn accidental event loops in tests into immediate failures
 // rather than hangs. Zero disables the guard.
 func (e *Engine) SetStepLimit(n uint64) { e.limit = n }
+
+// SetObserver attaches an opaque observer to the engine. The trace package
+// uses this slot so every component holding the engine can discover the
+// tracer at construction time; a nil observer means instrumentation is
+// disabled and call sites compile down to nil checks.
+func (e *Engine) SetObserver(v any) { e.observer = v }
+
+// Observer returns the attached observer (nil when none).
+func (e *Engine) Observer() any { return e.observer }
+
+// SetProgress installs a heartbeat callback invoked every `every` executed
+// events (0 disables). The callback sees the current simulated time and
+// total executed events; the CLI uses it for -v progress logging.
+func (e *Engine) SetProgress(every uint64, fn func(now Time, steps uint64)) {
+	if every == 0 || fn == nil {
+		e.progEvery, e.progress = 0, nil
+		return
+	}
+	e.progEvery, e.progress = every, fn
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics, since it would silently reorder causality.
@@ -172,6 +201,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.steps++
 		if e.limit > 0 && e.steps > e.limit {
 			panic(fmt.Sprintf("sim: step limit %d exceeded at t=%v", e.limit, e.now))
+		}
+		if e.progEvery > 0 && e.steps%e.progEvery == 0 {
+			e.progress(e.now, e.steps)
 		}
 		ev.fn()
 	}

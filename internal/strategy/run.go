@@ -6,9 +6,11 @@ import (
 	"cais/internal/config"
 	"cais/internal/kernel"
 	"cais/internal/machine"
+	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/nvswitch"
 	"cais/internal/sim"
+	"cais/internal/trace"
 )
 
 // Options tune a run beyond the strategy spec (experiment knobs).
@@ -31,16 +33,26 @@ type Options struct {
 	// Configure, when set, runs on the freshly assembled machine before
 	// any kernel launches (e.g. to attach utilization recorders).
 	Configure func(*machine.Machine)
+	// Tracer, when non-nil, records the run as a Perfetto-loadable event
+	// trace. Instrumentation stays disabled (zero-cost) when nil.
+	Tracer *trace.Tracer
+	// Progress, when set together with ProgressEvery, is invoked from the
+	// event loop every ProgressEvery engine steps (heartbeat logging).
+	Progress      func(now sim.Time, steps uint64)
+	ProgressEvery uint64
 }
 
 // Result is the outcome of one simulated run.
 type Result struct {
 	Strategy string
 	Elapsed  sim.Time // completion time of the final stage
-	Stats    nvswitch.Stats
+	Stats    nvswitch.Summary
 	AvgUtil  float64 // mean link utilization over [0, Elapsed]
 	MergeHWM int64   // max per-port merging-table occupancy
 	Machine  *machine.Machine
+	// Telemetry is the machine-readable snapshot of every registered
+	// metric at run completion (-metrics-json).
+	Telemetry metrics.Snapshot
 }
 
 // Speedup reports other's elapsed time divided by r's (how much faster r
@@ -482,6 +494,9 @@ func newMachine(hw config.Hardware, spec Spec, opts Options) *machine.Machine {
 		limit = 2_000_000_000
 	}
 	eng.SetStepLimit(limit)
+	if opts.Progress != nil && opts.ProgressEvery > 0 {
+		eng.SetProgress(opts.ProgressEvery, opts.Progress)
+	}
 	if opts.NoMergeTimeout {
 		hw.MergeTimeout = 0
 	}
@@ -491,17 +506,19 @@ func newMachine(hw config.Hardware, spec Spec, opts Options) *machine.Machine {
 		MergeTableBytes:     opts.MergeTableBytes,
 		Eviction:            opts.Eviction,
 		NoControlSideband:   opts.NoControlSideband,
+		Tracer:              opts.Tracer,
 	})
 }
 
 func finish(spec Spec, m *machine.Machine, doneAt sim.Time) Result {
 	return Result{
-		Strategy: spec.Name,
-		Elapsed:  doneAt,
-		Stats:    m.SwitchStats(),
-		AvgUtil:  m.AvgLinkUtilization(doneAt),
-		MergeHWM: m.MergeTableHighWater(),
-		Machine:  m,
+		Strategy:  spec.Name,
+		Elapsed:   doneAt,
+		Stats:     m.SwitchStats(),
+		AvgUtil:   m.AvgLinkUtilization(doneAt),
+		MergeHWM:  m.MergeTableHighWater(),
+		Machine:   m,
+		Telemetry: m.Metrics().Snapshot(),
 	}
 }
 

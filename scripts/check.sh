@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate, mirrored by .github/workflows/ci.yml.
+# Runs formatting, vet, build, the full test suite, and the race detector
+# on the concurrency-sensitive packages.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (trace, metrics, sim)"
+go test -race ./internal/trace/ ./internal/metrics/ ./internal/sim/
+
+echo "== disabled-tracer zero-alloc benchmark"
+go test -run='^$' -bench=BenchmarkDisabledHotPath -benchmem ./internal/trace/
+
+echo "OK"
