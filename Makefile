@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench clean
+.PHONY: all build test check vet fmt lint race bench clean
 
 all: check
 
@@ -19,11 +19,16 @@ race:
 vet:
 	$(GO) vet ./...
 
+# lint: caislint, the project's determinism & unit-safety analyzer
+# (see DESIGN.md "Static analysis").
+lint:
+	$(GO) run ./cmd/caislint ./...
+
 fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test race
+check: fmt vet lint test race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/trace/ ./internal/metrics/

@@ -1,0 +1,118 @@
+package cais_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"cais"
+)
+
+// The simulator's evaluation is only meaningful if runs are
+// bit-reproducible: same configuration and seed must yield the same event
+// count, elapsed time, switch statistics, telemetry bytes and trace bytes.
+// caislint guards the static side of that invariant (map iteration order,
+// wall-clock reads, unseeded randomness); this test guards it at runtime
+// by running identical workloads twice and comparing digests.
+
+// runDigest captures everything observable about one run.
+type runDigest struct {
+	elapsed   cais.Time
+	steps     uint64
+	stats     string
+	avgUtil   float64
+	mergeHWM  int64
+	telemetry [sha256.Size]byte
+	trace     [sha256.Size]byte
+}
+
+func digestRun(t *testing.T, training bool) runDigest {
+	t.Helper()
+	hw := cais.DGXH100()
+	hw.RequestBytes = 32 << 10 // coarse requests keep the event count small
+	hw.Seed = 0xD37E12
+	m := cais.Model{Name: "Tiny", Hidden: 512, FFNHidden: 2048, Heads: 4, SeqLen: 512, Batch: 2, Layers: 2}
+	tr := cais.NewTracer()
+	var (
+		res cais.Result
+		err error
+	)
+	if training {
+		res, err = cais.RunTrainingOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr})
+	} else {
+		res, err = cais.RunInferenceOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr})
+	}
+	if err != nil {
+		t.Fatalf("run(training=%v): %v", training, err)
+	}
+	var tele, spans bytes.Buffer
+	if err := res.Telemetry.WriteJSON(&tele); err != nil {
+		t.Fatalf("telemetry: %v", err)
+	}
+	if err := tr.WriteJSON(&spans); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return runDigest{
+		elapsed:   res.Elapsed,
+		steps:     res.Machine.Eng.Steps(),
+		stats:     fmt.Sprintf("%+v", res.Stats),
+		avgUtil:   res.AvgUtil,
+		mergeHWM:  res.MergeHWM,
+		telemetry: sha256.Sum256(tele.Bytes()),
+		trace:     sha256.Sum256(spans.Bytes()),
+	}
+}
+
+func assertIdentical(t *testing.T, a, b runDigest) {
+	t.Helper()
+	if a.elapsed != b.elapsed {
+		t.Errorf("elapsed differs across identical runs: %v vs %v", a.elapsed, b.elapsed)
+	}
+	if a.steps != b.steps {
+		t.Errorf("event count differs across identical runs: %d vs %d", a.steps, b.steps)
+	}
+	if a.stats != b.stats {
+		t.Errorf("switch stats differ across identical runs:\n  %s\n  %s", a.stats, b.stats)
+	}
+	if a.avgUtil != b.avgUtil {
+		t.Errorf("link utilization differs across identical runs: %v vs %v", a.avgUtil, b.avgUtil)
+	}
+	if a.mergeHWM != b.mergeHWM {
+		t.Errorf("merge-table HWM differs across identical runs: %d vs %d", a.mergeHWM, b.mergeHWM)
+	}
+	if a.telemetry != b.telemetry {
+		t.Errorf("telemetry JSON digest differs across identical runs")
+	}
+	if a.trace != b.trace {
+		t.Errorf("trace JSON digest differs across identical runs")
+	}
+}
+
+func TestDeterminismInference(t *testing.T) {
+	assertIdentical(t, digestRun(t, false), digestRun(t, false))
+}
+
+func TestDeterminismTraining(t *testing.T) {
+	assertIdentical(t, digestRun(t, true), digestRun(t, true))
+}
+
+// TestDeterminismExperimentTables renders experiment tables twice and
+// requires byte-identical output — the property that makes regenerated
+// paper tables diffable.
+func TestDeterminismExperimentTables(t *testing.T) {
+	for _, id := range []string{"table1", "fig11"} {
+		first, err := cais.RunExperiment(id, cais.QuickExperiments())
+		if err != nil {
+			t.Fatalf("%s (run 1): %v", id, err)
+		}
+		second, err := cais.RunExperiment(id, cais.QuickExperiments())
+		if err != nil {
+			t.Fatalf("%s (run 2): %v", id, err)
+		}
+		if first != second {
+			t.Errorf("%s: rendered table not byte-stable across runs\nrun1 sha256 %x\nrun2 sha256 %x",
+				id, sha256.Sum256([]byte(first)), sha256.Sum256([]byte(second)))
+		}
+	}
+}

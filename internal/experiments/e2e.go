@@ -160,8 +160,10 @@ func speedupStudy(c Config,
 			out.Rows = append(out.Rows, row)
 		}
 	}
-	for name, xs := range samples {
-		out.Geomean[name] = metrics.Geomean(xs)
+	for _, s := range out.Strategies {
+		if xs := samples[s]; len(xs) > 0 {
+			out.Geomean[s] = metrics.Geomean(xs)
+		}
 	}
 	return out, nil
 }
@@ -240,8 +242,10 @@ func Fig12(c Config) (*Fig12Result, error) {
 			out.Rows = append(out.Rows, row)
 		}
 	}
-	for name, xs := range samples {
-		out.Geomean[name] = metrics.Geomean(xs)
+	for _, s := range out.Strategies {
+		if xs := samples[s]; len(xs) > 0 {
+			out.Geomean[s] = metrics.Geomean(xs)
+		}
 	}
 	return out, nil
 }

@@ -311,10 +311,7 @@ func (g *GPU) tbCompute(l *Launch, run *tbRun) {
 // computeTime is the TB's roofline cost: max of compute and local-memory
 // time, scaled by deterministic per-(gpu,launch,tb) execution noise.
 func (g *GPU) computeTime(l *Launch, run *tbRun) sim.Time {
-	flopsT := sim.Time(0)
-	if run.desc.Flops > 0 {
-		flopsT = sim.Time(run.desc.Flops / g.hw.SMFLOPs * float64(sim.Second))
-	}
+	flopsT := sim.DurationForFlops(run.desc.Flops, g.hw.SMFLOPs)
 	memT := sim.Time(0)
 	if run.desc.LocalBytes > 0 {
 		perSM := g.hw.HBMBandwidth / float64(g.hw.SMsPerGPU)
@@ -325,7 +322,7 @@ func (g *GPU) computeTime(l *Launch, run *tbRun) sim.Time {
 		d = memT
 	}
 	rng := sim.NewRNG(sim.Hash64(g.seed, uint64(l.id), uint64(run.tb)))
-	return sim.Time(float64(d) * rng.Jitter(g.hw.TBTimeNoise))
+	return sim.Scale(d, rng.Jitter(g.hw.TBTimeNoise))
 }
 
 // tbPostPhase performs pre-access synchronization for mergeable reductions

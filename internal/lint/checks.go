@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pkgOf resolves the package an identifier's selector base refers to,
+// returning nil when the base is not a package name (so aliased imports
+// are handled and shadowing local variables named "time" are not).
+func pkgOf(p *Package, x ast.Expr) *types.Package {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// checkWallclock forbids wall-clock reads in simulated code: the engine's
+// sim.Time is the only clock, so time.Now/Since/Until anywhere outside the
+// CLI and tracing layers silently breaks replayability.
+func checkWallclock(p *Package, f *ast.File, rc *resolved, rep reporter) {
+	if pathAllowed(p.Path, rc.wallclockAllow) {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgOf(p, sel.X)
+		if pkg == nil || pkg.Path() != "time" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Now", "Since", "Until":
+			rep(sel.Pos(), CheckWallclock,
+				"time.%s reads the wall clock; simulated code must use sim.Engine time (allowed only under cmd/ and internal/trace)",
+				sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// randAllowed are the math/rand entry points that construct seeded
+// generators; everything else on the package (Intn, Float64, Shuffle,
+// Seed, ...) goes through the unseeded global source.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+	"NewZipf":    true, // takes a *rand.Rand, so it is already seeded
+}
+
+// checkRand forbids the global math/rand functions: only explicitly
+// seeded generators (sim.RNG, or *rand.Rand built via rand.New) keep runs
+// reproducible across processes and Go versions.
+func checkRand(p *Package, f *ast.File, rep reporter) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgOf(p, sel.X)
+		if pkg == nil {
+			return true
+		}
+		if path := pkg.Path(); path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		if randAllowed[sel.Sel.Name] {
+			return true
+		}
+		// Types (rand.Rand, rand.Source) are legitimate in signatures.
+		if obj, ok := p.Info.Uses[sel.Sel]; ok {
+			if _, isType := obj.(*types.TypeName); isType {
+				return true
+			}
+		}
+		rep(sel.Pos(), CheckRand,
+			"rand.%s uses the unseeded global source; use sim.RNG or a *rand.Rand seeded from the run configuration",
+			sel.Sel.Name)
+		return true
+	})
+}
+
+// checkGoroutine forbids `go` statements inside the engine packages: the
+// discrete-event simulator is single-threaded by design, and a goroutine
+// on the hot path reintroduces scheduler-dependent ordering.
+func checkGoroutine(p *Package, f *ast.File, rc *resolved, rep reporter) {
+	if !rc.enginePkgs[p.Path] {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			rep(g.Pos(), CheckGoroutine,
+				"go statement in engine package %s; the simulator is single-threaded — schedule an event on sim.Engine instead",
+				p.Path)
+		}
+		return true
+	})
+}
+
+// isTimeType reports whether t (or its pointer base) is one of the
+// configured simulated-time types.
+func isTimeType(rc *resolved, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return rc.timeTypes[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkUnits enforces the typed-time boundary with go/types:
+//
+//  1. A conversion from a float expression to sim.Time truncates
+//     picoseconds and must go through an audited helper in internal/sim
+//     (Scale, DurationForBytes, DurationForFlops, FromPicoseconds).
+//  2. Accumulating simulated time into a float64 (`sum += float64(t)` or
+//     `sum += t.Seconds()`) is flagged: float summation is
+//     non-associative, so the result depends on accumulation order —
+//     accumulate in sim.Time and convert once.
+func checkUnits(p *Package, f *ast.File, rc *resolved, rep reporter) {
+	if pathAllowed(p.Path, rc.unitAllow) {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			tv, ok := p.Info.Types[n.Fun]
+			if !ok || !tv.IsType() || !isTimeType(rc, tv.Type) || len(n.Args) != 1 {
+				return true
+			}
+			if isFloat(p.Info.TypeOf(n.Args[0])) {
+				rep(n.Pos(), CheckUnits,
+					"float-to-time conversion truncates picoseconds; use an audited sim helper (Scale, DurationForBytes, DurationForFlops, FromPicoseconds)")
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			if len(n.Lhs) != 1 || !isFloat(p.Info.TypeOf(n.Lhs[0])) {
+				return true
+			}
+			if derivesFromTime(p, rc, n.Rhs[0]) {
+				rep(n.Pos(), CheckUnits,
+					"float accumulation of simulated-time values is order-dependent (non-associative); accumulate in sim.Time and convert once")
+			}
+		}
+		return true
+	})
+}
+
+// derivesFromTime reports whether an expression converts a simulated-time
+// value to float — either a float(t) conversion or a unit method call on a
+// time value (t.Seconds() and friends).
+func derivesFromTime(p *Package, rc *resolved, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && isFloat(tv.Type) && len(call.Args) == 1 {
+			if isTimeType(rc, p.Info.TypeOf(call.Args[0])) {
+				found = true
+				return false
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if isTimeType(rc, p.Info.TypeOf(sel.X)) && isFloat(p.Info.TypeOf(call)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,322 @@
+// Package lint is caislint: a project-specific static analyzer that
+// enforces the simulator's determinism and unit-safety invariants. The
+// whole reproduction (event ordering, merge-session bookkeeping, telemetry
+// digests) is only meaningful if runs are bit-reproducible, so the checks
+// guard the properties reviewers cannot reliably eyeball:
+//
+//   - wallclock:  time.Now / time.Since / time.Until are forbidden outside
+//     cmd/ and internal/trace — simulated components must use sim.Engine
+//     time.
+//   - rand:      global math/rand functions are forbidden everywhere; only
+//     seeded generators (sim.RNG, *rand.Rand built via rand.New) flowing
+//     from configuration are allowed.
+//   - map-order: a `for range` over a map whose body is order-dependent
+//     (mutates state, schedules events, appends computed values, emits
+//     trace/metrics, accumulates floats) must iterate sorted keys instead.
+//   - units:     float→sim.Time conversions outside the audited helpers in
+//     internal/sim, and float64 accumulation of simulated-time values, are
+//     forbidden (truncation and non-associative float sums break digests).
+//   - goroutine: `go` statements are forbidden in the engine packages
+//     (sim, gpu, nvswitch, noc, machine) — the simulator is
+//     single-threaded by design.
+//
+// Violations that are intentional carry a directive with a mandatory
+// reason:
+//
+//	//caislint:ignore <check> <reason>        (this line or the next)
+//	//caislint:file-ignore <check> <reason>   (whole file)
+//
+// The analyzer is pure stdlib (go/parser, go/ast, go/types, go/importer);
+// it type-checks the module from source so the unit-safety check sees real
+// types, not syntax.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Msg)
+}
+
+// Check names. "directive" covers malformed or unused directives.
+const (
+	CheckWallclock = "wallclock"
+	CheckRand      = "rand"
+	CheckMapOrder  = "map-order"
+	CheckUnits     = "units"
+	CheckGoroutine = "goroutine"
+	CheckDirective = "directive"
+)
+
+var knownChecks = map[string]bool{
+	CheckWallclock: true,
+	CheckRand:      true,
+	CheckMapOrder:  true,
+	CheckUnits:     true,
+	CheckGoroutine: true,
+}
+
+// Config selects what to analyze and where the policy boundaries sit. The
+// zero value of every policy field derives a default from the module path,
+// matching this repository's layout.
+type Config struct {
+	// Dir is the module root (a directory containing go.mod).
+	Dir string
+	// Patterns are package patterns relative to Dir ("./...", ".",
+	// "./internal/..."). Empty means "./...".
+	Patterns []string
+
+	// TimeTypes are fully-qualified named types ("<pkg>.<Name>") treated
+	// as simulated time. Default: <module>/internal/sim.Time.
+	TimeTypes []string
+	// WallclockAllow are import-path prefixes where wall-clock reads are
+	// legal. Default: <module>/cmd, <module>/internal/trace.
+	WallclockAllow []string
+	// EnginePackages are import paths where `go` statements are forbidden.
+	// Default: <module>/internal/{sim,gpu,nvswitch,noc,machine}.
+	EnginePackages []string
+	// UnitConvertAllow are import-path prefixes housing the audited
+	// float→time conversion helpers. Default: <module>/internal/sim.
+	UnitConvertAllow []string
+}
+
+// resolved is the config with module-path defaults filled in.
+type resolved struct {
+	timeTypes      map[string]bool
+	wallclockAllow []string
+	enginePkgs     map[string]bool
+	unitAllow      []string
+}
+
+func (c Config) resolve(module string) *resolved {
+	r := &resolved{timeTypes: map[string]bool{}, enginePkgs: map[string]bool{}}
+	tt := c.TimeTypes
+	if len(tt) == 0 {
+		tt = []string{module + "/internal/sim.Time"}
+	}
+	for _, t := range tt {
+		r.timeTypes[t] = true
+	}
+	r.wallclockAllow = c.WallclockAllow
+	if len(r.wallclockAllow) == 0 {
+		r.wallclockAllow = []string{module + "/cmd", module + "/internal/trace"}
+	}
+	eng := c.EnginePackages
+	if len(eng) == 0 {
+		for _, p := range []string{"sim", "gpu", "nvswitch", "noc", "machine"} {
+			eng = append(eng, module+"/internal/"+p)
+		}
+	}
+	for _, p := range eng {
+		r.enginePkgs[p] = true
+	}
+	r.unitAllow = c.UnitConvertAllow
+	if len(r.unitAllow) == 0 {
+		r.unitAllow = []string{module + "/internal/sim"}
+	}
+	return r
+}
+
+// pathAllowed reports whether an import path is covered by an allowlist
+// prefix (exact package or any package below it).
+func pathAllowed(path string, allow []string) bool {
+	for _, a := range allow {
+		if path == a || strings.HasPrefix(path, a+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run analyzes the requested packages and returns every diagnostic, sorted
+// by file, line and column. A non-nil error means the analysis itself
+// could not run (parse/type errors, bad patterns) — distinct from
+// violations, which arrive as diagnostics with a nil error.
+func Run(cfg Config) ([]Diagnostic, error) {
+	l, err := newLoader(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	rc := cfg.resolve(l.module)
+
+	var diags []Diagnostic
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, lintPackage(l.fset, p, rc)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+// reporter is the sink checks report into; suppression by directive
+// happens here.
+type reporter func(pos token.Pos, check, format string, args ...any)
+
+func lintPackage(fset *token.FileSet, p *Package, rc *resolved) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		dirs, dirDiags := parseDirectives(fset, f)
+		diags = append(diags, dirDiags...)
+		rep := func(pos token.Pos, check, format string, args ...any) {
+			position := fset.Position(pos)
+			if dirs.suppressed(check, position.Line) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				File: position.Filename, Line: position.Line, Col: position.Column,
+				Check: check, Msg: fmt.Sprintf(format, args...),
+			})
+		}
+		checkWallclock(p, f, rc, rep)
+		checkRand(p, f, rep)
+		checkGoroutine(p, f, rc, rep)
+		checkUnits(p, f, rc, rep)
+		checkMapOrder(p, f, rep)
+		diags = append(diags, dirs.unused(fset)...)
+	}
+	return diags
+}
+
+// directive is one parsed //caislint: comment.
+type directive struct {
+	check    string
+	fileWide bool
+	line     int
+	pos      token.Pos
+	used     bool
+}
+
+type directiveSet struct {
+	list []*directive
+}
+
+// parseDirectives extracts caislint directives from a file's comments.
+// Malformed directives (unknown check, missing reason) are diagnostics
+// themselves: a suppression without a recorded reason is indistinguishable
+// from a shrug.
+func parseDirectives(fset *token.FileSet, f *ast.File) (*directiveSet, []Diagnostic) {
+	ds := &directiveSet{}
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		position := fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			File: position.Filename, Line: position.Line, Col: position.Column,
+			Check: CheckDirective, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // block comments cannot carry directives
+			}
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "caislint:")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				bad(c.Pos(), "empty caislint directive")
+				continue
+			}
+			verb := fields[0]
+			if verb != "ignore" && verb != "file-ignore" {
+				bad(c.Pos(), "unknown caislint directive %q (want ignore or file-ignore)", verb)
+				continue
+			}
+			if len(fields) < 2 {
+				bad(c.Pos(), "caislint:%s needs a check name", verb)
+				continue
+			}
+			check := fields[1]
+			if !knownChecks[check] {
+				bad(c.Pos(), "caislint:%s names unknown check %q", verb, check)
+				continue
+			}
+			if len(fields) < 3 {
+				bad(c.Pos(), "caislint:%s %s is missing its mandatory reason", verb, check)
+				continue
+			}
+			ds.list = append(ds.list, &directive{
+				check:    check,
+				fileWide: verb == "file-ignore",
+				line:     fset.Position(c.Pos()).Line,
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return ds, diags
+}
+
+// suppressed reports whether a diagnostic for check at the given line is
+// covered: file-wide directives cover everything, line directives cover
+// their own line and the line directly below (comment-above placement).
+func (ds *directiveSet) suppressed(check string, line int) bool {
+	hit := false
+	for _, d := range ds.list {
+		if d.check != check {
+			continue
+		}
+		if d.fileWide || d.line == line || d.line == line-1 {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// unused reports directives that suppressed nothing — stale annotations
+// are themselves violations so the tree stays minimally annotated.
+func (ds *directiveSet) unused(fset *token.FileSet) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds.list {
+		if d.used {
+			continue
+		}
+		position := fset.Position(d.pos)
+		out = append(out, Diagnostic{
+			File: position.Filename, Line: position.Line, Col: position.Column,
+			Check: CheckDirective,
+			Msg:   fmt.Sprintf("unused caislint:ignore directive for %s (nothing to suppress here)", d.check),
+		})
+	}
+	return out
+}

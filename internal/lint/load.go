@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path ("cais/internal/sim")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader resolves and type-checks module-internal packages with a custom
+// importer: module paths map to source directories, standard-library paths
+// fall through to the stdlib source importer. No x/tools dependency.
+type loader struct {
+	fset     *token.FileSet
+	root     string            // module root (absolute)
+	module   string            // module path from go.mod
+	dirs     map[string]string // import path -> absolute dir
+	pkgs     map[string]*Package
+	checking map[string]bool // cycle guard
+	std      types.Importer
+}
+
+func newLoader(root string) (*loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:     token.NewFileSet(),
+		root:     root,
+		module:   module,
+		dirs:     map[string]string{},
+		pkgs:     map[string]*Package{},
+		checking: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if m := strings.TrimSpace(rest); m != "" {
+				return strings.Trim(m, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// discover maps every package directory of the module to its import path.
+// Directories named testdata or vendor and hidden/underscore directories
+// are skipped, matching the go tool's convention.
+func (l *loader) discover() error {
+	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		ip := l.module
+		if rel != "." {
+			ip = l.module + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[ip] = path
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer: module-internal packages type-check
+// from source through this loader; everything else defers to the standard
+// library importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirs[path]; ok {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown package %s", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:                 l,
+		DisableUnusedImportCheck: true,
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// expand resolves package patterns ("./...", "./internal/...", ".",
+// "./cmd/caissim") against the discovered module directories and returns
+// the matching import paths in sorted order.
+func (l *loader) expand(patterns []string) ([]string, error) {
+	all := sortedKeys(l.dirs)
+	set := map[string]bool{}
+	for _, pat := range patterns {
+		matched := false
+		clean := strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "." || pat == "./":
+			if _, ok := l.dirs[l.module]; ok {
+				set[l.module] = true
+				matched = true
+			}
+		case clean == "..." || pat == "all":
+			for _, ip := range all {
+				set[ip] = true
+			}
+			matched = len(all) > 0
+		case strings.HasSuffix(clean, "/..."):
+			prefix := l.module + "/" + strings.TrimSuffix(clean, "/...")
+			for _, ip := range all {
+				if ip == prefix || strings.HasPrefix(ip, prefix+"/") {
+					set[ip] = true
+					matched = true
+				}
+			}
+		default:
+			ip := l.module + "/" + filepath.ToSlash(clean)
+			if strings.HasPrefix(pat, l.module) {
+				ip = pat // fully-qualified import path
+			}
+			if _, ok := l.dirs[ip]; ok {
+				set[ip] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	return sortedKeys(set), nil
+}
+
+// sortedKeys returns a map's keys in sorted order — the iteration
+// discipline the map-order check enforces on the simulator itself.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

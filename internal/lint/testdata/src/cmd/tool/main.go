@@ -1,0 +1,13 @@
+// Command tool mirrors a CLI entry point: wall-clock reads under cmd/ are
+// allowed.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,15 @@
+package gpu
+
+import "math/rand"
+
+// Rand mixes the unseeded global source with a properly seeded generator.
+func Rand() int {
+	r := rand.New(rand.NewSource(1))   // seeded constructor: allowed
+	n := r.Intn(10)                    // method on *rand.Rand: allowed
+	n += rand.Intn(10)                 // lintwant:rand
+	rand.Shuffle(n, func(i, j int) {}) // lintwant:rand
+	return n
+}
+
+// UseRNG proves the rand.Rand type name is legal in signatures.
+func UseRNG(r *rand.Rand) int { return r.Intn(3) }

@@ -1,0 +1,32 @@
+package gpu
+
+import "fixture/internal/sim"
+
+// Convert performs a raw float-to-time conversion outside internal/sim.
+func Convert(x float64) sim.Time {
+	return sim.Time(x * 2) // lintwant:units
+}
+
+// Accumulate sums simulated time into float64 accumulators.
+func Accumulate(ts []sim.Time) float64 {
+	var sum float64
+	for _, t := range ts {
+		sum += t.Seconds() // lintwant:units
+	}
+	var raw float64
+	for _, t := range ts {
+		raw += float64(t) // lintwant:units
+	}
+	return sum + raw
+}
+
+// AllowedConversions are the patterns the units check must not flag.
+func AllowedConversions(ps float64, n int64, ts []sim.Time) sim.Time {
+	a := sim.FromPicoseconds(ps) // audited helper: allowed
+	b := sim.Time(n)             // integer conversion: allowed
+	var total sim.Time
+	for _, t := range ts {
+		total += t // typed accumulation: allowed
+	}
+	return a + b + total
+}

@@ -1,0 +1,10 @@
+//caislint:file-ignore wallclock fixture: this file times the host, not the simulation
+package gpu
+
+import "time"
+
+// HostNow and HostElapsed read the wall clock under a file-wide waiver.
+func HostNow() time.Time { return time.Now() }
+
+// HostElapsed measures host-side elapsed time.
+func HostElapsed(start time.Time) time.Duration { return time.Since(start) }

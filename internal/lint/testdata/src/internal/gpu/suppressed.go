@@ -1,0 +1,24 @@
+package gpu
+
+import (
+	"math/rand"
+	"time"
+
+	"fixture/internal/sim"
+)
+
+// Suppressed exercises both line-directive placements (the line above and
+// the same line) for every check; nothing here may be reported.
+func Suppressed(x float64, m map[string]int) sim.Time {
+	//caislint:ignore wallclock fixture proves comment-above suppression
+	start := time.Now()
+	_ = time.Since(start) //caislint:ignore wallclock fixture proves same-line suppression
+	_ = rand.Int()        //caislint:ignore rand fixture demo value
+	go func() {}()        //caislint:ignore goroutine fixture proves suppression
+	//caislint:ignore map-order fixture: print order does not matter here
+	for k := range m {
+		process(k)
+	}
+	//caislint:ignore units fixture keeps one legacy conversion
+	return sim.Time(x)
+}

@@ -1,0 +1,20 @@
+// Package sim is the fixture's stand-in for the real simulation clock; the
+// units check resolves the time type and the conversion allowlist from the
+// module path, so this package mirrors the production layout.
+package sim
+
+// Time is simulated time in picoseconds.
+type Time int64
+
+// Unit constants.
+const (
+	Picosecond Time = 1
+	Second     Time = 1e12
+)
+
+// Seconds converts to float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromPicoseconds is an audited float-to-time conversion; raw conversions
+// are allowed inside internal/sim, so this definition is not a violation.
+func FromPicoseconds(ps float64) Time { return Time(ps) }

@@ -1,0 +1,8 @@
+// Package util sits outside the engine package list, so the goroutine
+// check does not apply here.
+package util
+
+// Background spawns a goroutine outside the engine (allowed).
+func Background(ch chan int) {
+	go func() { ch <- 1 }()
+}

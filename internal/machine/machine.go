@@ -350,9 +350,19 @@ func (m *Machine) Run() sim.Time { return m.Eng.Run() }
 // unsatisfied dependencies — a deadlock or a miswired workload.
 func (m *Machine) CheckQuiescent() error {
 	var stuck []string
-	for t, deps := range m.waiters {
+	tiles := make([]kernel.Tile, 0, len(m.waiters))
+	for t := range m.waiters {
+		tiles = append(tiles, t)
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		if tiles[i].Buf != tiles[j].Buf {
+			return tiles[i].Buf < tiles[j].Buf
+		}
+		return tiles[i].Idx < tiles[j].Idx
+	})
+	for _, t := range tiles {
 		live := 0
-		for _, d := range deps {
+		for _, d := range m.waiters[t] {
 			if d.pending > 0 {
 				live++
 			}

@@ -116,7 +116,7 @@ func (st *Stats) noteArrivalKind(addr uint64, expected int, now sim.Time, isLoad
 		st.skewSumPS.Add(int64(d))
 		st.skewCount.Inc()
 		st.skewUS.Observe(d.Microseconds())
-		if d > sim.Time(st.skewMaxPS.Value()) {
+		if d > sim.FromPicoseconds(st.skewMaxPS.Value()) {
 			st.skewMaxPS.Set(float64(d))
 		}
 		if isLoad {
@@ -159,7 +159,7 @@ func (st *Stats) Summary() Summary {
 		SessLifeCount:    st.sessLifeCount.Value(),
 		SkewSum:          sim.Time(st.skewSumPS.Value()),
 		SkewCount:        st.skewCount.Value(),
-		SkewMax:          sim.Time(st.skewMaxPS.Value()),
+		SkewMax:          sim.FromPicoseconds(st.skewMaxPS.Value()),
 		LdSkewSum:        sim.Time(st.ldSkewSumPS.Value()),
 		LdSkewCount:      st.ldSkewCount.Value(),
 		RedSkewSum:       sim.Time(st.redSkewSum.Value()),

@@ -73,6 +73,29 @@ func DurationForBytes(size int64, bytesPerSecond float64) Time {
 	return d
 }
 
+// DurationForFlops returns the execution time of a floating-point workload
+// on a resource with the given throughput in FLOP/s. Non-positive inputs
+// yield zero. Like DurationForBytes it truncates toward zero picoseconds,
+// matching a direct Time(flops/rate*Second) conversion bit-for-bit.
+func DurationForFlops(flops, flopsPerSecond float64) Time {
+	if flops <= 0 || flopsPerSecond <= 0 {
+		return 0
+	}
+	return Time(flops / flopsPerSecond * float64(Second))
+}
+
+// Scale stretches a duration by a dimensionless factor (jitter, slowdown,
+// overlap ratios), truncating the sub-picosecond remainder.
+func Scale(d Time, factor float64) Time {
+	return Time(float64(d) * factor)
+}
+
+// FromPicoseconds converts a float picosecond count (e.g. a metrics gauge
+// value) back into a Time, truncating toward zero.
+func FromPicoseconds(ps float64) Time {
+	return Time(ps)
+}
+
 type event struct {
 	at  Time
 	seq uint64

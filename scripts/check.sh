@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the repo's pre-merge gate, mirrored by .github/workflows/ci.yml.
-# Runs formatting, vet, build, the full test suite, and the race detector
-# on the concurrency-sensitive packages.
+# Runs formatting, vet, build, caislint (the determinism & unit-safety
+# analyzer), the full test suite, and the race detector on the
+# concurrency-sensitive packages.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +20,9 @@ go vet ./...
 
 echo "== go build"
 go build ./...
+
+echo "== caislint (determinism & unit safety)"
+go run ./cmd/caislint ./...
 
 echo "== go test"
 go test ./...
