@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race bench clean
+.PHONY: all build test check vet fmt lint race resilience-smoke bench clean
 
 all: check
 
@@ -10,11 +10,16 @@ build:
 test: build
 	$(GO) test ./...
 
-# race: the tracer/registry/engine are single-goroutine by design, but the
-# CLI spawns a pprof server goroutine and tests exercise concurrent
-# snapshotting idioms — keep the concurrency-sensitive packages honest.
+# race: the simulator is single-goroutine by design, but the CLI spawns a
+# pprof server goroutine and tests exercise concurrent snapshotting idioms
+# — run the whole suite under the race detector to keep that honest.
 race:
-	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/sim/
+	$(GO) test -race ./...
+
+# resilience-smoke: the fault-injection degradation study at reduced
+# fidelity (DESIGN.md §8) — a fast end-to-end pass over every fault kind.
+resilience-smoke: build
+	$(GO) run ./cmd/caissim -experiment resilience -quick
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +33,7 @@ fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet lint test race
+check: fmt vet lint test race resilience-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/trace/ ./internal/metrics/

@@ -19,6 +19,7 @@ import (
 	"cais/internal/config"
 	"cais/internal/core"
 	"cais/internal/experiments"
+	"cais/internal/faults"
 	"cais/internal/machine"
 	"cais/internal/metrics"
 	"cais/internal/model"
@@ -58,6 +59,12 @@ type (
 	Telemetry = metrics.Snapshot
 	// Metric is one named telemetry value in a snapshot.
 	Metric = metrics.Metric
+	// FaultSchedule is a declarative fault-injection schedule (DESIGN.md
+	// §8). Attach via RunOptions.Faults or SessionOptions.Faults; nil
+	// reproduces the unfaulted run bit-for-bit.
+	FaultSchedule = faults.Schedule
+	// Fault is one fault of a schedule (kind, onset, duration, target).
+	Fault = faults.Fault
 )
 
 // NewTracer creates an enabled event tracer. Pass it via RunOptions.Tracer
@@ -123,6 +130,13 @@ func RunTrainingOpts(hw Hardware, s Strategy, m Model, layers int, opts RunOptio
 func RunSubLayer(hw Hardware, s Strategy, sub SubLayer, opts RunOptions) (Result, error) {
 	return strategy.RunSubLayer(hw, s, sub, opts)
 }
+
+// LoadFaultSchedule reads a JSON fault schedule from a file (the grammar
+// is documented in DESIGN.md §8).
+func LoadFaultSchedule(path string) (*FaultSchedule, error) { return faults.Load(path) }
+
+// ParseFaultSchedule parses a JSON fault schedule.
+func ParseFaultSchedule(data []byte) (*FaultSchedule, error) { return faults.Parse(data) }
 
 // NewSession assembles a machine for custom kernel pipelines.
 func NewSession(hw Hardware, opts SessionOptions) (*Session, error) {

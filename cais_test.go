@@ -62,8 +62,8 @@ func TestFacadeStrategyCatalog(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	names := cais.ExperimentNames()
-	if len(names) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(names))
+	if len(names) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(names))
 	}
 	out, err := cais.RunExperiment("table1", cais.QuickExperiments())
 	if err != nil {

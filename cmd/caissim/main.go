@@ -37,12 +37,21 @@ func main() {
 		training   = flag.Bool("training", false, "simulate training (fwd+bwd) instead of prefill")
 		gpus       = flag.Int("gpus", 0, "override the GPU count (default: 8)")
 		requestKB  = flag.Int("request-kb", 0, "override the request granularity in KB")
+		seed       = flag.Uint64("seed", 0, "RNG seed for simulated jitter (0 = built-in default)")
+		faultsFile = flag.String("faults", "", "JSON fault-injection schedule (strategy runs; see DESIGN.md §8)")
 		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (strategy runs)")
 		metricsOut = flag.String("metrics-json", "", "write the run's metric snapshot as JSON to this file (strategy runs)")
 		verbose    = flag.Bool("v", false, "log simulation progress to stderr")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	gpusSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "gpus" {
+			gpusSet = true
+		}
+	})
 
 	if *pprofAddr != "" {
 		go func() {
@@ -72,28 +81,52 @@ func main() {
 	case *strat != "":
 		runStrategy(strategyRun{
 			name: *strat, model: *modelName, layers: *layers, training: *training,
-			gpus: *gpus, requestKB: *requestKB,
+			gpus: *gpus, gpusSet: gpusSet, requestKB: *requestKB, seed: *seed, faultsFile: *faultsFile,
 			traceOut: *traceOut, metricsOut: *metricsOut, verbose: *verbose,
 		})
 	case *experiment != "":
 		if *traceOut != "" || *metricsOut != "" {
 			fmt.Fprintln(os.Stderr, "note: -trace/-metrics-json apply to -strategy runs only; ignored for experiments")
 		}
-		runExperiments(*experiment, *quick)
+		if *faultsFile != "" {
+			fmt.Fprintln(os.Stderr, "note: -faults applies to -strategy runs only; the resilience experiment builds its own schedules")
+		}
+		runExperiments(*experiment, *quick, *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runExperiments(id string, quick bool) {
+// usageErr reports an invalid flag value with the accepted IDs and exits
+// with the conventional bad-usage status.
+func usageErr(what, got string, valid []string) {
+	fmt.Fprintf(os.Stderr, "unknown %s %q; valid: %s\n", what, got, strings.Join(valid, ", "))
+	os.Exit(2)
+}
+
+func runExperiments(id string, quick bool, seed uint64) {
 	cfg := cais.DefaultExperiments()
 	if quick {
 		cfg = cais.QuickExperiments()
 	}
+	if seed != 0 {
+		cfg.HW.Seed = seed
+	}
 	ids := []string{id}
 	if id == "all" {
 		ids = cais.ExperimentNames()
+	} else {
+		known := false
+		for _, n := range cais.ExperimentNames() {
+			if n == id {
+				known = true
+				break
+			}
+		}
+		if !known {
+			usageErr("experiment", id, append(cais.ExperimentNames(), "all"))
+		}
 	}
 	for _, x := range ids {
 		start := time.Now()
@@ -113,18 +146,33 @@ type strategyRun struct {
 	layers    int
 	training  bool
 	gpus      int
+	gpusSet   bool
 	requestKB int
+	seed      uint64
 
+	faultsFile string
 	traceOut   string
 	metricsOut string
 	verbose    bool
 }
 
+// strategyNames lists every accepted -strategy value (baselines, CAIS, its
+// ablations, and the extension strategies).
+func strategyNames() []string {
+	var names []string
+	for _, s := range cais.Strategies() {
+		names = append(names, s.Name)
+	}
+	for _, s := range cais.ExtensionStrategies() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
 func runStrategy(r strategyRun) {
 	spec, err := cais.StrategyByName(r.name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		usageErr("strategy", r.name, strategyNames())
 	}
 	var m cais.Model
 	switch strings.ToLower(r.model) {
@@ -135,19 +183,37 @@ func runStrategy(r strategyRun) {
 	case "llama-7b":
 		m = cais.LLaMA7B()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", r.model)
-		os.Exit(1)
+		usageErr("model", r.model, []string{"mega-gpt-4b", "mega-gpt-8b", "llama-7b"})
 	}
 	hw := cais.DGXH100()
 	hw.RequestBytes = 32 << 10
-	if r.gpus > 0 {
+	if r.gpusSet {
 		hw.NumGPUs = r.gpus
 	}
 	if r.requestKB > 0 {
 		hw.RequestBytes = int64(r.requestKB) << 10
 	}
+	if r.seed != 0 {
+		hw.Seed = r.seed
+	}
+	if err := hw.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "cannot assemble this topology: %v\n", err)
+		os.Exit(2)
+	}
 
 	var opts cais.RunOptions
+	if r.faultsFile != "" {
+		sched, err := cais.LoadFaultSchedule(r.faultsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sched.Validate(hw.NumGPUs, hw.NumSwitchPlanes); err != nil {
+			fmt.Fprintf(os.Stderr, "faults: schedule does not fit this topology: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Faults = sched
+	}
 	if r.traceOut != "" {
 		opts.Tracer = cais.NewTracer()
 	}

@@ -28,6 +28,10 @@ type runDigest struct {
 }
 
 func digestRun(t *testing.T, training bool) runDigest {
+	return digestRunFaults(t, training, nil)
+}
+
+func digestRunFaults(t *testing.T, training bool, sched *cais.FaultSchedule) runDigest {
 	t.Helper()
 	hw := cais.DGXH100()
 	hw.RequestBytes = 32 << 10 // coarse requests keep the event count small
@@ -39,9 +43,9 @@ func digestRun(t *testing.T, training bool) runDigest {
 		err error
 	)
 	if training {
-		res, err = cais.RunTrainingOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr})
+		res, err = cais.RunTrainingOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr, Faults: sched})
 	} else {
-		res, err = cais.RunInferenceOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr})
+		res, err = cais.RunInferenceOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr, Faults: sched})
 	}
 	if err != nil {
 		t.Fatalf("run(training=%v): %v", training, err)
@@ -115,4 +119,30 @@ func TestDeterminismExperimentTables(t *testing.T) {
 				id, sha256.Sum256([]byte(first)), sha256.Sum256([]byte(second)))
 		}
 	}
+}
+
+// TestDeterminismUnderFaults runs the same workload under the same fault
+// schedule twice: fault injection (failover, re-routing, retries) must be
+// exactly as reproducible as a healthy run.
+func TestDeterminismUnderFaults(t *testing.T) {
+	sched, err := cais.ParseFaultSchedule([]byte(`{
+		"name": "determinism-mix",
+		"faults": [
+			{"kind": "link-degrade", "at_us": 5, "for_us": 100, "factor": 0.5},
+			{"kind": "plane-down", "at_us": 20, "plane": 3},
+			{"kind": "straggler", "at_us": 0, "gpu": 1, "factor": 1.5}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, digestRunFaults(t, false, sched), digestRunFaults(t, false, sched))
+}
+
+// TestEmptyFaultScheduleMatchesBaseline requires an empty schedule to be
+// fully inert: every digest — elapsed, steps, stats, telemetry, trace —
+// must match the unfaulted run bit-for-bit.
+func TestEmptyFaultScheduleMatchesBaseline(t *testing.T) {
+	empty := &cais.FaultSchedule{Name: "empty"}
+	assertIdentical(t, digestRun(t, false), digestRunFaults(t, false, empty))
 }

@@ -119,6 +119,9 @@ func Registry() map[string]Runner {
 		"table2": func(c Config) (string, error) { r, err := Table2(c); return render(r, err) },
 		"area":   func(c Config) (string, error) { return Area(), nil },
 
+		// Fault-injection degradation study (DESIGN.md §8).
+		"resilience": func(c Config) (string, error) { r, err := Resilience(c); return render(r, err) },
+
 		// Design-choice ablations beyond the paper's figures.
 		"ablation-eviction": func(c Config) (string, error) { r, err := AblationEviction(c); return render(r, err) },
 		"ablation-sideband": func(c Config) (string, error) { r, err := AblationSideband(c); return render(r, err) },

@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"cais/internal/sim"
+)
+
+func TestValidateAcceptsWellFormedSchedule(t *testing.T) {
+	s := &Schedule{Name: "mixed", Faults: []Fault{
+		{Kind: LinkDegrade, Plane: All, GPU: All, Dir: DirBoth, Factor: 0.5},
+		{Kind: LinkDown, At: 10 * sim.Microsecond, For: 5 * sim.Microsecond, Plane: 1, GPU: 3, Dir: DirUp},
+		{Kind: PlaneDown, At: 20 * sim.Microsecond, Plane: 2},
+		{Kind: MergeDisable, Plane: All, GPU: All},
+		{Kind: Straggler, GPU: 7, Factor: 2},
+	}}
+	if err := s.Validate(8, 4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+		want string // substring of the error
+	}{
+		{"negative onset", Schedule{Faults: []Fault{{Kind: Straggler, At: -1, GPU: 0, Factor: 2}}}, "negative onset"},
+		{"negative repair", Schedule{Faults: []Fault{{Kind: Straggler, For: -1, GPU: 0, Factor: 2}}}, "negative repair"},
+		{"degrade factor zero", Schedule{Faults: []Fault{{Kind: LinkDegrade, Factor: 0}}}, "degrade factor"},
+		{"degrade factor above one", Schedule{Faults: []Fault{{Kind: LinkDegrade, Factor: 1.5}}}, "degrade factor"},
+		{"permanent link-down", Schedule{Faults: []Fault{{Kind: LinkDown, Plane: 0, GPU: 0}}}, "requires a repair time"},
+		{"plane out of range", Schedule{Faults: []Fault{{Kind: PlaneDown, Plane: 4}}}, "plane 4 out of range"},
+		{"plane wildcard not allowed", Schedule{Faults: []Fault{{Kind: PlaneDown, Plane: All}}}, "out of range"},
+		{"gpu out of range", Schedule{Faults: []Fault{{Kind: Straggler, GPU: 8, Factor: 2}}}, "gpu 8 out of range"},
+		{"straggler wildcard not allowed", Schedule{Faults: []Fault{{Kind: Straggler, GPU: All, Factor: 2}}}, "out of range"},
+		{"straggler factor below one", Schedule{Faults: []Fault{{Kind: Straggler, GPU: 0, Factor: 0.5}}}, "straggler factor"},
+		{"duplicate permanent plane kill", Schedule{Faults: []Fault{
+			{Kind: PlaneDown, Plane: 1}, {Kind: PlaneDown, Plane: 1},
+		}}, "already failed permanently"},
+		{"all planes dead", Schedule{Faults: []Fault{
+			{Kind: PlaneDown, Plane: 0}, {Kind: PlaneDown, Plane: 1},
+			{Kind: PlaneDown, Plane: 2}, {Kind: PlaneDown, Plane: 3},
+		}}, "at least one must survive"},
+		{"unknown kind", Schedule{Faults: []Fault{{Kind: Kind(99)}}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate(8, 4)
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.s.Faults)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateNilSchedule(t *testing.T) {
+	var s *Schedule
+	if err := s.Validate(8, 4); err != nil {
+		t.Fatalf("nil schedule should validate: %v", err)
+	}
+	if !s.Empty() {
+		t.Fatal("nil schedule should be Empty")
+	}
+	if s.HasPlaneFault() {
+		t.Fatal("nil schedule should not report a plane fault")
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	data := []byte(`{
+		"name": "degrade-then-fail",
+		"faults": [
+			{"kind": "link-degrade", "at_us": 0, "plane": -1, "gpu": -1, "factor": 0.25},
+			{"kind": "link-down", "at_us": 10, "for_us": 50, "plane": 1, "gpu": 3, "dir": "up"},
+			{"kind": "plane-down", "at_us": 100.5, "plane": 2},
+			{"kind": "merge-disable", "at_us": 0},
+			{"kind": "straggler", "at_us": 0, "gpu": 5, "factor": 2.5}
+		]
+	}`)
+	s, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Name != "degrade-then-fail" || len(s.Faults) != 5 {
+		t.Fatalf("got name=%q faults=%d", s.Name, len(s.Faults))
+	}
+	if err := s.Validate(8, 4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	f := s.Faults[0]
+	if f.Kind != LinkDegrade || f.Plane != All || f.GPU != All || f.Dir != DirBoth || f.Factor != 0.25 {
+		t.Errorf("fault 0 decoded as %+v", f)
+	}
+	f = s.Faults[1]
+	if f.Kind != LinkDown || f.At != 10*sim.Microsecond || f.For != 50*sim.Microsecond || f.Dir != DirUp {
+		t.Errorf("fault 1 decoded as %+v", f)
+	}
+	if s.Faults[2].At != sim.Scale(sim.Microsecond, 100.5) {
+		t.Errorf("fractional at_us decoded as %v", s.Faults[2].At)
+	}
+	// Omitted plane/gpu default to 0, not wildcard.
+	if s.Faults[3].Plane != 0 || s.Faults[3].GPU != 0 {
+		t.Errorf("omitted targets decoded as plane=%d gpu=%d, want 0/0", s.Faults[3].Plane, s.Faults[3].GPU)
+	}
+	if !s.HasPlaneFault() {
+		t.Error("schedule with plane-down should report HasPlaneFault")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte(`{"faults": [{"kind": "gamma-ray"}]}`)); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("unknown kind: got %v", err)
+	}
+	if _, err := Parse([]byte(`{"faults": [{"kind": "link-down", "dir": "sideways"}]}`)); err == nil || !strings.Contains(err.Error(), "unknown dir") {
+		t.Errorf("unknown dir: got %v", err)
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestKindAndDirStrings(t *testing.T) {
+	if LinkDegrade.String() != "link-degrade" || PlaneDown.String() != "plane-down" {
+		t.Error("kind names wrong")
+	}
+	if DirUp.String() != "up" || DirBoth.String() != "both" {
+		t.Error("dir names wrong")
+	}
+	if !strings.Contains(KindNames(), "straggler") {
+		t.Errorf("KindNames() = %q", KindNames())
+	}
+}

@@ -47,8 +47,15 @@ type GPU struct {
 	hw      config.Hardware
 	up      []*noc.Link // per switch plane
 	planeOf func(addr uint64) int
-	hbm     *sim.Resource
-	sink    DataSink
+	// groupPlane, when set by the assembly layer, routes sync traffic for
+	// a TB group (fault-aware: it skips failed planes). Nil keeps the
+	// default static group % planes hash.
+	groupPlane func(group int) int
+	// slowdown scales TB compute time (straggler fault injection; 1 =
+	// healthy).
+	slowdown float64
+	hbm      *sim.Resource
+	sink     DataSink
 
 	slotsFree int
 	launches  []*Launch
@@ -73,6 +80,7 @@ type GPU struct {
 func New(eng *sim.Engine, id int, hw config.Hardware, planeOf func(addr uint64) int, sink DataSink) *GPU {
 	g := &GPU{
 		ID: id, eng: eng, hw: hw, planeOf: planeOf, sink: sink,
+		slowdown:  1,
 		up:        make([]*noc.Link, hw.NumSwitchPlanes),
 		hbm:       sim.NewResource(fmt.Sprintf("gpu%d.hbm", id)),
 		slotsFree: hw.SMsPerGPU,
@@ -99,6 +107,23 @@ func New(eng *sim.Engine, id int, hw config.Hardware, planeOf func(addr uint64) 
 
 // ConnectUp attaches the GPU->switch link for one plane.
 func (g *GPU) ConnectUp(plane int, link *noc.Link) { g.up[plane] = link }
+
+// SetGroupRouter installs a fault-aware sync routing function (see
+// Synchronizer.Wait). The assembly layer points this at the machine's
+// plane-liveness-aware hash; standalone GPUs keep the static default.
+func (g *GPU) SetGroupRouter(fn func(group int) int) { g.groupPlane = fn }
+
+// SetComputeSlowdown scales this GPU's TB compute time (straggler fault
+// injection). 1 restores full speed.
+func (g *GPU) SetComputeSlowdown(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("gpu%d: compute slowdown must be positive", g.ID))
+	}
+	g.slowdown = f
+}
+
+// ComputeSlowdown reports the current straggler factor (1 = healthy).
+func (g *GPU) ComputeSlowdown() float64 { return g.slowdown }
 
 // Uplink returns the GPU->switch link of a plane (for metrics wiring).
 func (g *GPU) Uplink(plane int) *noc.Link { return g.up[plane] }

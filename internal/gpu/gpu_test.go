@@ -167,7 +167,7 @@ func TestSynchronizerDuplicateWaitPanics(t *testing.T) {
 	eng := sim.NewEngine()
 	hwSeedGPU := newBareGPU(eng)
 	s := hwSeedGPU.Synchronizer()
-	s.waiting[syncKey{group: 1, phase: PhasePreLoad}] = func() {}
+	s.waiting[syncKey{group: 1, phase: PhasePreLoad}] = &pendingWait{fn: func() {}}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("duplicate sync wait did not panic")

@@ -322,7 +322,14 @@ func (g *GPU) computeTime(l *Launch, run *tbRun) sim.Time {
 		d = memT
 	}
 	rng := sim.NewRNG(sim.Hash64(g.seed, uint64(l.id), uint64(run.tb)))
-	return sim.Scale(d, rng.Jitter(g.hw.TBTimeNoise))
+	d = sim.Scale(d, rng.Jitter(g.hw.TBTimeNoise))
+	// Straggler fault injection: a slowed GPU scales its roofline TB cost.
+	// The jitter RNG above is seeded independently of fault state, so a
+	// faulted run perturbs only the magnitude, never the noise stream.
+	if g.slowdown != 1 {
+		d = sim.Scale(d, g.slowdown)
+	}
+	return d
 }
 
 // tbPostPhase performs pre-access synchronization for mergeable reductions

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"sort"
 
 	"cais/internal/noc"
 	"cais/internal/sim"
@@ -34,18 +35,64 @@ type syncKey struct {
 	phase int
 }
 
+// pendingWait is one outstanding sync registration: the resume closure
+// plus the plane the registration was sent to, so a plane failure can
+// re-register exactly the waits that were routed to the dead plane.
+type pendingWait struct {
+	fn       func()
+	plane    int
+	expected int
+}
+
 // Synchronizer is the per-GPU module of Fig. 8b: it registers TB groups
 // with the switch's Group Sync Table by exchanging lightweight empty
 // packets (one request, one release, ~0.5 us round trip) and resumes the
 // waiting TB when the release arrives.
 type Synchronizer struct {
-	g        *GPU
-	waiting  map[syncKey]func()
-	Requests int64 // sync requests sent (stats)
+	g       *GPU
+	waiting map[syncKey]*pendingWait
+	// lenient tolerates releases for unknown keys (plane failover can
+	// deliver a stale release after a wait was re-registered and released
+	// by the surviving plane). Off by default: healthy runs keep the
+	// strict single-release invariant.
+	lenient bool
+
+	Requests        int64 // sync requests sent (stats)
+	Reregistrations int64 // waits re-sent after a routing change (fault stats)
+	Retries         int64 // re-registration attempts deferred by a down uplink
+	StaleReleases   int64 // duplicate releases tolerated in lenient mode
 }
 
 func newSynchronizer(g *GPU) *Synchronizer {
-	return &Synchronizer{g: g, waiting: make(map[syncKey]func())}
+	return &Synchronizer{g: g, waiting: make(map[syncKey]*pendingWait)}
+}
+
+// SetLenient arms failover tolerance for duplicate releases. The injector
+// enables it only for schedules containing a plane failure.
+func (s *Synchronizer) SetLenient(on bool) { s.lenient = on }
+
+// routePlane picks the Group Sync Table plane for a group: the machine's
+// fault-aware hash when installed, else the static group % planes default.
+func (s *Synchronizer) routePlane(group int) int {
+	if s.g.groupPlane != nil {
+		return s.g.groupPlane(group)
+	}
+	plane := group % len(s.g.up)
+	if plane < 0 {
+		plane = 0
+	}
+	return plane
+}
+
+// register sends the Group Sync Table registration packet on a plane.
+func (s *Synchronizer) register(group, phase, expected, plane int) {
+	s.Requests++
+	req := &noc.Packet{
+		ID: s.g.pktID(), Op: noc.OpSyncRequest,
+		Addr: uint64(phase), Group: group,
+		Src: s.g.ID, Dst: -1, Contribs: expected,
+	}
+	s.g.up[plane].Send(req)
 }
 
 // Wait registers the TB group for the given phase and calls fn when the
@@ -68,31 +115,70 @@ func (s *Synchronizer) Wait(group, phase, expected int, fn func()) {
 			inner()
 		}
 	}
-	s.waiting[key] = fn
-	s.Requests++
-	req := &noc.Packet{
-		ID: s.g.pktID(), Op: noc.OpSyncRequest,
-		Addr: uint64(phase), Group: group,
-		Src: s.g.ID, Dst: -1, Contribs: expected,
-	}
 	// Sync traffic routes on the group's deterministic plane so all GPUs
 	// of a group meet at the same Group Sync Table.
-	plane := group % len(s.g.up)
-	if plane < 0 {
-		plane = 0
+	plane := s.routePlane(group)
+	s.waiting[key] = &pendingWait{fn: fn, plane: plane, expected: expected}
+	s.register(group, phase, expected, plane)
+}
+
+// Resync re-registers every pending wait whose registered plane no longer
+// matches the current group routing — the recovery sweep the machine runs
+// when a plane fails (or comes back and routing reverts). Each
+// re-registration retries with exponential backoff while the target
+// plane's uplink is down, so a simultaneous link-down fault only delays
+// recovery instead of wedging it.
+func (s *Synchronizer) Resync() {
+	if len(s.waiting) == 0 {
+		return
 	}
-	s.g.up[plane].Send(req)
+	keys := make([]syncKey, 0, len(s.waiting))
+	for k := range s.waiting {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].group != keys[j].group {
+			return keys[i].group < keys[j].group
+		}
+		return keys[i].phase < keys[j].phase
+	})
+	for _, k := range keys {
+		w := s.waiting[k]
+		if w == nil || s.routePlane(k.group) == w.plane {
+			continue
+		}
+		s.Reregistrations++
+		key, wait := k, w
+		sim.Retry(s.g.eng, sim.Backoff{Base: sim.Microsecond, Max: 64 * sim.Microsecond, Factor: 2}, func(n int) bool {
+			cur, ok := s.waiting[key]
+			if !ok || cur != wait {
+				return true // released while backing off; nothing to do
+			}
+			plane := s.routePlane(key.group)
+			if link := s.g.up[plane]; link == nil || link.Down() {
+				s.Retries++
+				return false
+			}
+			wait.plane = plane
+			s.register(key.group, key.phase, wait.expected, plane)
+			return true
+		}, nil)
+	}
 }
 
 // Release resumes the TB waiting on (group, phase).
 func (s *Synchronizer) Release(group, phase int) {
 	key := syncKey{group: group, phase: phase}
-	fn, ok := s.waiting[key]
+	w, ok := s.waiting[key]
 	if !ok {
+		if s.lenient {
+			s.StaleReleases++
+			return
+		}
 		panic(fmt.Sprintf("gpu%d: release for unknown sync group %d phase %d", s.g.ID, group, phase))
 	}
 	delete(s.waiting, key)
-	fn()
+	w.fn()
 }
 
 // Pending reports how many sync waits are outstanding.

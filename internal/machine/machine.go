@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"cais/internal/config"
+	"cais/internal/faults"
 	"cais/internal/gpu"
 	"cais/internal/kernel"
 	"cais/internal/metrics"
@@ -40,6 +41,11 @@ type Options struct {
 	// every subsystem records spans into it (Perfetto export). Nil keeps
 	// instrumentation disabled at zero cost.
 	Tracer *trace.Tracer
+	// Faults, when non-nil and non-empty, is the fault schedule the
+	// machine's injector plays back on the sim clock (DESIGN.md §8). Nil
+	// or empty keeps every fault hook inert, bit-identical to an
+	// unfaulted run.
+	Faults *faults.Schedule
 }
 
 // Machine is one assembled system plus its execution state.
@@ -67,6 +73,15 @@ type Machine struct {
 
 	// PublishedTiles counts tile publications (diagnostics).
 	PublishedTiles int64
+
+	// Plane liveness for fault-aware routing: planeAlive[p] is false while
+	// plane p is failed; survivors lists the live planes in index order.
+	// All-alive keeps routeAddr/routeGroup bit-identical to the static
+	// address-hash of a healthy machine.
+	planeAlive []bool
+	survivors  []int
+	reroutes   int64 // packets routed around a dead plane
+	inj        *injector
 
 	// KernelSpans records per-kernel execution windows for reporting:
 	// earliest launch start to latest completion across GPUs.
@@ -129,9 +144,14 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 		reg:      metrics.NewRegistry(),
 		tr:       trace.FromEngine(eng),
 	}
-	planeOf := func(addr uint64) int { return int(addr % uint64(hw.NumSwitchPlanes)) }
+	m.planeAlive = make([]bool, hw.NumSwitchPlanes)
+	for p := range m.planeAlive {
+		m.planeAlive[p] = true
+	}
+	m.recomputeSurvivors()
 	for g := 0; g < hw.NumGPUs; g++ {
-		m.GPUs = append(m.GPUs, gpu.New(eng, g, hw, planeOf, m))
+		m.GPUs = append(m.GPUs, gpu.New(eng, g, hw, m.routeAddr, m))
+		m.GPUs[g].SetGroupRouter(m.routeGroup)
 	}
 	capacity := hw.MergeTableBytes
 	if opts.MergeTableBytes > 0 {
@@ -174,8 +194,53 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 	}
 	m.nameTraceTracks()
 	m.registerGauges()
+	m.installFaults()
 	return m
 }
+
+// routeAddr is the fault-aware address-to-plane hash shared by every GPU:
+// the static plane hash when the plane is alive, else a consistent re-hash
+// over the survivors. Only addresses that hashed to a dead plane remap, so
+// live-plane merge/NVLS sessions are never split by a failover.
+func (m *Machine) routeAddr(addr uint64) int {
+	p := int(addr % uint64(m.HW.NumSwitchPlanes))
+	if m.planeAlive[p] {
+		return p
+	}
+	if len(m.survivors) == 0 {
+		panic("machine: all switch planes are down")
+	}
+	m.reroutes++
+	return m.survivors[addr%uint64(len(m.survivors))]
+}
+
+// routeGroup is the fault-aware Group Sync Table plane hash (same fallback
+// rule as routeAddr, keyed by group ID).
+func (m *Machine) routeGroup(group int) int {
+	p := group % m.HW.NumSwitchPlanes
+	if p < 0 {
+		p = 0
+	}
+	if m.planeAlive[p] {
+		return p
+	}
+	if len(m.survivors) == 0 {
+		panic("machine: all switch planes are down")
+	}
+	return m.survivors[uint64(p)%uint64(len(m.survivors))]
+}
+
+func (m *Machine) recomputeSurvivors() {
+	m.survivors = m.survivors[:0]
+	for p, alive := range m.planeAlive {
+		if alive {
+			m.survivors = append(m.survivors, p)
+		}
+	}
+}
+
+// PlaneAlive reports whether a switch plane is currently in service.
+func (m *Machine) PlaneAlive(p int) bool { return m.planeAlive[p] }
 
 // nameTraceTracks labels the Perfetto processes and threads so the trace
 // reads as the machine topology.

@@ -208,6 +208,8 @@ type Link struct {
 	fifo     []*Packet
 	rr       Class
 	busy     bool
+	bwScale  float64 // fault-injection bandwidth degradation factor (1 = healthy)
+	down     bool    // fault-injection link-down: queued packets stall until repair
 	busyTime sim.Time
 	sent     int64 // total wire bytes
 	pkts     int64
@@ -227,7 +229,7 @@ func NewLink(eng *sim.Engine, name string, bytesPerSecond float64, latency sim.T
 		panic("noc: link bandwidth must be positive")
 	}
 	return &Link{Name: name, eng: eng, bw: bytesPerSecond, latency: latency, dst: dst, sideband: true,
-		tr: trace.FromEngine(eng)}
+		bwScale: 1, tr: trace.FromEngine(eng)}
 }
 
 // TraceOn places the link's busy intervals on a trace track: every
@@ -250,6 +252,38 @@ func (l *Link) SetVirtualChannels(on bool) { l.vcOn = on }
 
 // SetRecorder installs a busy-interval observer.
 func (l *Link) SetRecorder(r BusyRecorder) { l.recorder = r }
+
+// SetBandwidthScale degrades (or restores) the link's effective bandwidth:
+// packets serialized after the call see bw*scale. In-flight packets keep the
+// serialization time computed at transmit start — degradation is felt at the
+// next arbitration decision, like a real link retraining to fewer lanes.
+func (l *Link) SetBandwidthScale(scale float64) {
+	if scale <= 0 {
+		panic("noc: bandwidth scale must be positive")
+	}
+	l.bwScale = scale
+}
+
+// BandwidthScale reports the current degradation factor (1 = healthy).
+func (l *Link) BandwidthScale() float64 { return l.bwScale }
+
+// SetDown takes the link down (true) or repairs it (false). A down link
+// stalls: Send still enqueues, an in-flight packet finishes its
+// serialization and delivery, but no new packet starts until repair. Stall
+// time does not count toward BusyTime/Utilization — a dead link is idle,
+// not busy. On repair, transmission resumes immediately if traffic queued.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down && !l.busy {
+		l.transmitNext()
+	}
+}
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
 
 // Bandwidth reports the link's bandwidth in bytes/s.
 func (l *Link) Bandwidth() float64 { return l.bw }
@@ -295,10 +329,14 @@ func (l *Link) Send(p *Packet) {
 	if d := l.queueDepth(); d > l.maxQueue {
 		l.maxQueue = d
 	}
-	if !l.busy {
+	if !l.busy && !l.down {
 		l.transmitNext()
 	}
 }
+
+// QueueDepth reports the number of packets currently queued (not in
+// flight). Exposed for fault-injection tests and diagnostics.
+func (l *Link) QueueDepth() int { return l.queueDepth() }
 
 func (l *Link) queueDepth() int {
 	n := len(l.control)
@@ -343,6 +381,11 @@ func (l *Link) pop() *Packet {
 }
 
 func (l *Link) transmitNext() {
+	if l.down {
+		// Stall: leave the queue intact; SetDown(false) restarts us.
+		l.busy = false
+		return
+	}
 	p := l.pop()
 	if p == nil {
 		l.busy = false
@@ -350,7 +393,7 @@ func (l *Link) transmitNext() {
 	}
 	l.busy = true
 	wire := p.WireBytes()
-	ser := sim.DurationForBytes(wire, l.bw)
+	ser := sim.DurationForBytes(wire, l.bw*l.bwScale)
 	start := l.eng.Now()
 	end := start + ser
 	l.busyTime += ser

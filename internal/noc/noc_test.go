@@ -292,3 +292,173 @@ func TestRequestPacketsUseSideband(t *testing.T) {
 		t.Fatalf("request did not bypass the queued data: %v", opsOf(s.got))
 	}
 }
+
+// Arbitration edge cases (table-driven): saturated single-class queues,
+// classes draining to empty mid-stream, and control traffic sharing the
+// round-robin when the sideband is off.
+func TestLinkArbitrationEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		vc        bool
+		sideband  bool
+		send      []*Packet
+		wantOrder []Op
+		wantMaxQ  int
+	}{
+		{
+			// Only one class has traffic: round-robin must not stall on
+			// the two empty classes and order stays FIFO within the class.
+			name: "saturated-single-class",
+			vc:   true, sideband: true,
+			send: []*Packet{
+				{Op: OpRedCAIS, Size: 984},
+				{Op: OpRedCAIS, Size: 984},
+				{Op: OpRedCAIS, Size: 984},
+				{Op: OpRedCAIS, Size: 984},
+			},
+			wantOrder: []Op{OpRedCAIS, OpRedCAIS, OpRedCAIS, OpRedCAIS},
+			wantMaxQ:  3, // head transmits immediately; three wait
+		},
+		{
+			// A class empties mid-stream: the arbiter must fall through to
+			// the remaining class without a gap.
+			name: "class-drains-to-zero",
+			vc:   true, sideband: true,
+			send: []*Packet{
+				{Op: OpRedCAIS, Size: 984},
+				{Op: OpLoadResp, Size: 984},
+				{Op: OpLoadResp, Size: 984},
+				{Op: OpLoadResp, Size: 984},
+			},
+			wantOrder: []Op{OpRedCAIS, OpLoadResp, OpLoadResp, OpLoadResp},
+			wantMaxQ:  3,
+		},
+		{
+			// Sideband off + VCs on: control packets take the ClassControl
+			// queue and win the next round-robin grant over queued data.
+			name: "control-joins-round-robin",
+			vc:   true, sideband: false,
+			send: []*Packet{
+				{Op: OpRedCAIS, Size: 984},
+				{Op: OpLoadResp, Size: 984},
+				{Op: OpSyncRelease},
+			},
+			wantOrder: []Op{OpRedCAIS, OpSyncRelease, OpLoadResp},
+			wantMaxQ:  2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, l, s := newTestLink(100e9, 0)
+			l.SetVirtualChannels(tc.vc)
+			l.SetControlSideband(tc.sideband)
+			eng.At(0, func() {
+				for _, p := range tc.send {
+					l.Send(p)
+				}
+			})
+			eng.Run()
+			if len(s.got) != len(tc.wantOrder) {
+				t.Fatalf("delivered %d packets, want %d", len(s.got), len(tc.wantOrder))
+			}
+			for i, op := range tc.wantOrder {
+				if s.got[i].Op != op {
+					t.Fatalf("delivery order %v, want %v", opsOf(s.got), tc.wantOrder)
+				}
+			}
+			if l.MaxQueueDepth() != tc.wantMaxQ {
+				t.Fatalf("max queue depth = %d, want %d", l.MaxQueueDepth(), tc.wantMaxQ)
+			}
+			if l.QueueDepth() != 0 {
+				t.Fatalf("residual queue depth = %d after drain", l.QueueDepth())
+			}
+		})
+	}
+}
+
+func TestLinkNearZeroBandwidthBackToBack(t *testing.T) {
+	// A 99.9% degraded link still makes forward progress: back-to-back
+	// packets serialize strictly, 1000x slower.
+	eng, l, s := newTestLink(100e9, 0)
+	eng.At(0, func() {
+		l.SetBandwidthScale(0.001) // 100 MB/s effective: 1000B -> 10us
+		l.Send(&Packet{Op: OpStore, Size: 984})
+		l.Send(&Packet{Op: OpStore, Size: 984})
+	})
+	eng.Run()
+	if len(s.got) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(s.got))
+	}
+	if s.times[0] != 10*sim.Microsecond || s.times[1] != 20*sim.Microsecond {
+		t.Fatalf("deliveries at %v, %v; want 10us, 20us", s.times[0], s.times[1])
+	}
+	if l.BusyTime() != 20*sim.Microsecond {
+		t.Fatalf("busy = %v, want 20us", l.BusyTime())
+	}
+}
+
+func TestLinkDegradeMidFlightAffectsNextPacketOnly(t *testing.T) {
+	// Degradation lands at the next arbitration decision: the in-flight
+	// packet keeps its start-of-transmit serialization time.
+	eng, l, s := newTestLink(100e9, 0)
+	eng.At(0, func() {
+		l.Send(&Packet{Op: OpStore, Size: 984}) // 10ns at full rate
+		l.Send(&Packet{Op: OpStore, Size: 984})
+	})
+	eng.At(5*sim.Nanosecond, func() { l.SetBandwidthScale(0.5) })
+	eng.Run()
+	if s.times[0] != 10*sim.Nanosecond {
+		t.Fatalf("in-flight packet rescheduled by degradation: %v", s.times[0])
+	}
+	if s.times[1] != 30*sim.Nanosecond { // 10ns wait + 20ns at half rate
+		t.Fatalf("second delivery at %v, want 30ns", s.times[1])
+	}
+	if l.BandwidthScale() != 0.5 {
+		t.Fatalf("scale = %v, want 0.5", l.BandwidthScale())
+	}
+}
+
+func TestLinkDownMidFlightUtilization(t *testing.T) {
+	// The link fails while a packet is on the wire: the in-flight packet
+	// completes, the queued one stalls until repair, and the stall window
+	// counts as idle — BusyTime covers only true serialization.
+	eng, l, s := newTestLink(100e9, 0)
+	eng.At(0, func() {
+		l.Send(&Packet{Op: OpStore, Size: 984}) // 10ns ser
+		l.Send(&Packet{Op: OpStore, Size: 984})
+	})
+	eng.At(5*sim.Nanosecond, func() { l.SetDown(true) })
+	eng.At(1005*sim.Nanosecond, func() { l.SetDown(false) })
+	eng.Run()
+	if len(s.got) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(s.got))
+	}
+	if s.times[0] != 10*sim.Nanosecond {
+		t.Fatalf("in-flight packet delivery at %v, want 10ns", s.times[0])
+	}
+	if s.times[1] != 1015*sim.Nanosecond {
+		t.Fatalf("stalled packet delivery at %v, want 1015ns", s.times[1])
+	}
+	if l.BusyTime() != 20*sim.Nanosecond {
+		t.Fatalf("busy = %v, want 20ns (stall must not count)", l.BusyTime())
+	}
+	if u := l.Utilization(1015 * sim.Nanosecond); u >= 0.02 {
+		t.Fatalf("utilization %v should reflect the idle outage window", u)
+	}
+}
+
+func TestLinkSendWhileDownQueues(t *testing.T) {
+	eng, l, s := newTestLink(100e9, 0)
+	eng.At(0, func() { l.SetDown(true) })
+	eng.At(1*sim.Nanosecond, func() {
+		l.Send(&Packet{Op: OpStore, Size: 984})
+		if l.QueueDepth() != 1 {
+			t.Fatalf("queue depth = %d while down, want 1", l.QueueDepth())
+		}
+	})
+	eng.At(100*sim.Nanosecond, func() { l.SetDown(false) })
+	eng.Run()
+	if len(s.got) != 1 || s.times[0] != 110*sim.Nanosecond {
+		t.Fatalf("post-repair delivery = %v, want one packet at 110ns", s.times)
+	}
+}

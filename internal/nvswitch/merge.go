@@ -2,6 +2,7 @@ package nvswitch
 
 import (
 	"fmt"
+	"sort"
 
 	"cais/internal/noc"
 	"cais/internal/sim"
@@ -116,6 +117,7 @@ type MergeUnit struct {
 	policy        EvictionPolicy
 	numGPUs       int
 	nextID        uint64
+	disabled      bool // fault injection: force the unmerged bypass path
 	tr            *trace.Tracer
 	pid           int32
 }
@@ -124,6 +126,53 @@ func newMergeUnit(eng *sim.Engine, name string, capacity int64, timeout sim.Time
 	return &MergeUnit{
 		name: name, eng: eng, capacity: capacity, timeout: timeout,
 		sessions: make(map[uint64]*session), stats: stats,
+	}
+}
+
+// SetDisabled turns the merge unit off (true) or back on (false). While
+// disabled, ld.cais / red.cais requests take the same unmerged forwarding
+// fallback used under table saturation — the NVLS/unmerged degradation the
+// fault model calls "merge-disable". Disabling quiesces live sessions so
+// no request waits on a unit that will never merge again.
+func (m *MergeUnit) SetDisabled(disabled bool) {
+	if m.disabled == disabled {
+		return
+	}
+	m.disabled = disabled
+	if disabled {
+		m.Quiesce()
+	}
+}
+
+// Disabled reports whether the merge unit is fault-disabled.
+func (m *MergeUnit) Disabled() bool { return m.disabled }
+
+// Quiesce flushes every live session: reduction entries flush partial
+// results, cached loads release, and in-flight fetches are marked to
+// release as soon as their response arrives. Used at merge-disable onset
+// and plane failover.
+func (m *MergeUnit) Quiesce() {
+	if len(m.sessions) == 0 {
+		return
+	}
+	addrs := make([]uint64, 0, len(m.sessions))
+	for a := range m.sessions {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		s, ok := m.sessions[a]
+		if !ok {
+			continue
+		}
+		if s.state == LoadWait {
+			// The home fetch is in flight; serve the waiters and release
+			// when the response lands (same deferral as timeout eviction).
+			s.flush = true
+			continue
+		}
+		m.stats.evictions.Inc()
+		m.evict(s)
 	}
 }
 
@@ -156,6 +205,11 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 	m.stats.noteArrivalKind(p.Addr, p.Expected(), m.eng.Now(), true)
 	m.credit(p)
 	now := m.eng.Now()
+	if m.disabled {
+		m.stats.bypassLoads.Inc()
+		m.forwardPlainLoad(p)
+		return
+	}
 	if s, ok := m.sessions[p.Addr]; ok && s.state != Reduction {
 		// CAM hit on an active load session.
 		s.count++
@@ -283,6 +337,29 @@ func (m *MergeUnit) HandleReduction(p *noc.Packet) {
 	}
 	m.credit(p)
 	now := m.eng.Now()
+	if m.disabled {
+		m.stats.bypassReds.Inc()
+		if p.Dst < 0 {
+			// Broadcast (GEMM-AR) contribution with merging off: without
+			// in-switch accumulation each contribution is replicated to
+			// every replica, which count contributions to completion —
+			// the full downlink cost of losing the merge unit.
+			for g := 0; g < m.numGPUs; g++ {
+				out := &noc.Packet{
+					ID: m.id(), Op: noc.OpRedCAIS, Addr: p.Addr, Home: m.gpu,
+					Src: -1, Dst: g, Size: p.Size, Group: p.Group,
+					Contribs: 1, Tag: p.Tag,
+				}
+				if g == m.gpu {
+					out.OnDone = p.OnDone
+				}
+				m.sendDown(g, out)
+			}
+			return
+		}
+		m.forwardPartial(p.Addr, p.Size, p.Group, 1, p.Tag, p.OnDone)
+		return
+	}
 	s, ok := m.sessions[p.Addr]
 	if ok && s.state != Reduction {
 		// Same address used for both load and reduction merging would be

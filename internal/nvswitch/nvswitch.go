@@ -8,6 +8,7 @@ package nvswitch
 
 import (
 	"fmt"
+	"sort"
 
 	"cais/internal/metrics"
 	"cais/internal/noc"
@@ -54,6 +55,18 @@ type Switch struct {
 	nvlsPull map[pullKey]*nvlsPullSession
 	sync     map[syncTableKey]*syncEntry
 
+	// faultTolerant arms the failover protocol (DESIGN.md §8): NVLS push
+	// sessions get completion timeouts (re-routing can split a session
+	// across planes, so waiting for all contributions may never end), and
+	// duplicate sync registrations are tolerated instead of fatal. Off by
+	// default so healthy runs keep strict invariants and bit-identical
+	// behavior.
+	faultTolerant bool
+	// failed marks a plane taken down by the injector. The plane keeps
+	// draining traffic already addressed to it (downlinks stay up), but
+	// its merge/NVLS/sync state was flushed at failure.
+	failed bool
+
 	stats  *Stats
 	tr     *trace.Tracer
 	pid    int32
@@ -63,6 +76,16 @@ type Switch struct {
 type pullKey struct {
 	addr      uint64
 	requester int
+}
+
+// pullTag routes a ld_reduce fan response back to the plane that issued the
+// fan-out. It carries the owning switch pointer rather than a bare key:
+// after a plane failure the requester's address hash re-routes to a
+// surviving plane, so the response must still find the originating
+// session wherever the uplink delivers it.
+type pullTag struct {
+	sw  *Switch
+	key pullKey
 }
 
 // nvlsRedSession accumulates multimem.red push-reduction contributions in
@@ -76,6 +99,7 @@ type nvlsRedSession struct {
 	group    int
 	onDone   []func()
 	tag      interface{}
+	lru      sim.Time // last contribution (timeout base in fault-tolerant mode)
 }
 
 // nvlsPullSession is one in-flight multimem.ld_reduce: reads fanned to all
@@ -138,6 +162,52 @@ func (s *Switch) Summary() Summary { return s.stats.Summary() }
 // Port returns the merge unit of the given GPU-facing port.
 func (s *Switch) Port(gpu int) *MergeUnit { return s.port[gpu] }
 
+// SetFaultTolerant arms or disarms the failover protocol. The injector
+// enables it (on every plane) only for schedules containing a plane
+// failure, so all other runs keep today's strict, timeout-free NVLS
+// semantics bit-for-bit.
+func (s *Switch) SetFaultTolerant(on bool) { s.faultTolerant = on }
+
+// Failed reports whether the injector has taken this plane down.
+func (s *Switch) Failed() bool { return s.failed }
+
+// Failover takes the plane down: every NVLS push session flushes its
+// partial result (receivers count contribution bytes, so split sessions
+// still complete), every Group Sync Table entry is dropped (the machine
+// re-registers affected waiters on a surviving plane), and every port's
+// merge unit quiesces. Traffic already addressed to the plane keeps
+// draining — downlinks stay up — and any sessions such stragglers open are
+// reaped by the fault-tolerant timeouts.
+func (s *Switch) Failover() {
+	s.failed = true
+	addrs := make([]uint64, 0, len(s.nvlsRed))
+	for a := range s.nvlsRed {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		s.stats.nvlsTimeoutFlushes.Inc()
+		s.completeRed(a, s.nvlsRed[a])
+	}
+	s.stats.syncDropped.Add(int64(len(s.sync)))
+	s.sync = make(map[syncTableKey]*syncEntry)
+	for _, port := range s.port {
+		port.Quiesce()
+	}
+	if s.tr.Enabled() {
+		s.tr.Instant(s.pid, 0, "nvswitch.fault", "plane failover", s.eng.Now())
+	}
+}
+
+// Repair brings a failed plane back into service. Its tables are empty
+// (flushed at failure); routing is restored by the machine.
+func (s *Switch) Repair() {
+	s.failed = false
+	if s.tr.Enabled() {
+		s.tr.Instant(s.pid, 0, "nvswitch.fault", "plane repair", s.eng.Now())
+	}
+}
+
 // Receive implements noc.Endpoint for uplink traffic: the packet is
 // processed after the switch-internal latency.
 func (s *Switch) Receive(p *noc.Packet) {
@@ -190,8 +260,8 @@ func (s *Switch) handleLoadResp(p *noc.Packet) {
 	switch tag := p.Tag.(type) {
 	case *mergeRespTag:
 		tag.unit.HandleResponse(p, tag)
-	case pullKey:
-		s.handlePullResponse(p, tag)
+	case *pullTag:
+		tag.sw.handlePullResponse(p, tag.key)
 	case *plainLoadTag:
 		// Bypassed (unmerged) load: restore the requester's completion
 		// context and deliver directly.
@@ -243,7 +313,8 @@ func (s *Switch) handlePullReduce(p *noc.Packet) {
 	for g := 0; g < s.cfg.NumGPUs; g++ {
 		fan := &noc.Packet{
 			ID: s.id(), Op: noc.OpReadFan, Addr: p.Addr, Home: g,
-			Src: p.Src, Dst: g, Size: p.Size, Group: p.Group, Tag: key,
+			Src: p.Src, Dst: g, Size: p.Size, Group: p.Group,
+			Tag: &pullTag{sw: s, key: key},
 		}
 		s.sendDown(g, fan)
 	}
@@ -276,16 +347,30 @@ func (s *Switch) handlePushReduce(p *noc.Packet) {
 			bcast: p.Dst < 0, group: p.Group, tag: p.Tag,
 		}
 		s.nvlsRed[p.Addr] = sess
+		if s.faultTolerant {
+			sess.lru = s.eng.Now()
+			s.armRedTimeout(p.Addr, sess)
+		}
 	}
 	sess.count++
+	sess.lru = s.eng.Now()
 	if p.OnDone != nil {
 		sess.onDone = append(sess.onDone, p.OnDone)
 	}
 	if sess.count < sess.expected {
 		return
 	}
-	delete(s.nvlsRed, p.Addr)
 	s.stats.pushReduces.Inc()
+	s.completeRed(p.Addr, sess)
+}
+
+// completeRed writes out an NVLS push session's (possibly partial)
+// accumulated result and releases the session. Receivers count the
+// contribution bytes each packet folds in, so a session split across
+// partial flushes — or across planes after a failover — still sums to
+// completion at every receiver.
+func (s *Switch) completeRed(addr uint64, sess *nvlsRedSession) {
+	delete(s.nvlsRed, addr)
 	targets := []int{sess.home}
 	if sess.bcast {
 		targets = targets[:0]
@@ -295,7 +380,7 @@ func (s *Switch) handlePushReduce(p *noc.Packet) {
 	}
 	for _, g := range targets {
 		out := &noc.Packet{
-			ID: s.id(), Op: noc.OpMultimemRed, Addr: p.Addr, Home: sess.home,
+			ID: s.id(), Op: noc.OpMultimemRed, Addr: addr, Home: sess.home,
 			Src: -1, Dst: g, Size: sess.size, Group: sess.group,
 			Contribs: sess.count, Tag: sess.tag,
 		}
@@ -304,6 +389,34 @@ func (s *Switch) handlePushReduce(p *noc.Packet) {
 	for _, done := range sess.onDone {
 		s.eng.After(0, done)
 	}
+	sess.onDone = nil
+}
+
+// armRedTimeout gives an NVLS push session a forward-progress deadline
+// (fault-tolerant mode only): once contributions stop arriving for the
+// timeout window, the partial result flushes. This is what keeps sessions
+// live when a plane failure re-routes later contributions elsewhere.
+func (s *Switch) armRedTimeout(addr uint64, sess *nvlsRedSession) {
+	to := s.cfg.MergeTimeout
+	if to <= 0 {
+		to = 8 * sim.Microsecond
+	}
+	deadline := sess.lru + to
+	s.eng.At(deadline, func() {
+		cur, ok := s.nvlsRed[addr]
+		if !ok || cur != sess {
+			return
+		}
+		if cur.lru+to > s.eng.Now() {
+			s.armRedTimeout(addr, cur)
+			return
+		}
+		s.stats.nvlsTimeoutFlushes.Inc()
+		if s.tr.Enabled() {
+			s.tr.Instant(s.pid, 0, "nvswitch.fault", "nvls timeout flush", s.eng.Now())
+		}
+		s.completeRed(addr, cur)
+	})
 }
 
 // handleSync implements the Group Sync Table: when all expected GPUs have
@@ -321,6 +434,13 @@ func (s *Switch) handleSync(p *noc.Packet) {
 		s.sync[key] = e
 	}
 	if e.seen[p.Src] {
+		if s.faultTolerant {
+			// A failover re-registration can race a registration that was
+			// in flight when the routing changed; idempotent registration
+			// keeps the entry correct.
+			s.stats.syncDuplicates.Inc()
+			return
+		}
 		panic(fmt.Sprintf("nvswitch: duplicate sync registration group=%d phase=%d gpu=%d", p.Group, p.Addr, p.Src))
 	}
 	e.seen[p.Src] = true

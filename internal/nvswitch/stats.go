@@ -33,6 +33,11 @@ type Stats struct {
 	// Group Sync Table.
 	syncReleases *metrics.Counter
 
+	// Fault tolerance (plane failover, see DESIGN.md §8).
+	nvlsTimeoutFlushes *metrics.Counter // NVLS push sessions flushed partial by timeout/failover
+	syncDropped        *metrics.Counter // sync entries dropped when the plane failed
+	syncDuplicates     *metrics.Counter // duplicate registrations tolerated in fault mode
+
 	// Session lifetime (first arrival to release).
 	sessLifeSumPS *metrics.Counter
 	sessLifeCount *metrics.Counter
@@ -71,31 +76,34 @@ func NewStats() *Stats { return NewStatsIn(metrics.NewRegistry(), "nvswitch") }
 func NewStatsIn(reg *metrics.Registry, prefix string) *Stats {
 	c := func(name string) *metrics.Counter { return reg.Counter(prefix + "." + name) }
 	return &Stats{
-		multicastStores:  c("multicast_stores"),
-		pullReduces:      c("pull_reduces"),
-		pushReduces:      c("push_reduces"),
-		mergedLoads:      c("merged_loads"),
-		loadFetches:      c("load_fetches"),
-		bypassLoads:      c("bypass_loads"),
-		mergedReds:       c("merged_reds"),
-		completedReds:    c("completed_reds"),
-		bypassReds:       c("bypass_reds"),
-		evictions:        c("evictions"),
-		partialFlushes:   c("partial_flushes"),
-		timeoutEvictions: c("timeout_evictions"),
-		syncReleases:     c("sync_releases"),
-		sessLifeSumPS:    c("session_lifetime_sum_ps"),
-		sessLifeCount:    c("session_lifetime_count"),
-		sessLifeUS:       reg.Hist(prefix + ".session_lifetime_us"),
-		skew:             make(map[uint64]*skewEntry),
-		skewSumPS:        c("skew_sum_ps"),
-		skewCount:        c("skew_count"),
-		skewMaxPS:        reg.Gauge(prefix + ".skew_max_ps"),
-		skewUS:           reg.Hist(prefix + ".skew_us"),
-		ldSkewSumPS:      c("load_skew_sum_ps"),
-		ldSkewCount:      c("load_skew_count"),
-		redSkewSum:       c("reduction_skew_sum_ps"),
-		redSkewCnt:       c("reduction_skew_count"),
+		multicastStores:    c("multicast_stores"),
+		pullReduces:        c("pull_reduces"),
+		pushReduces:        c("push_reduces"),
+		mergedLoads:        c("merged_loads"),
+		loadFetches:        c("load_fetches"),
+		bypassLoads:        c("bypass_loads"),
+		mergedReds:         c("merged_reds"),
+		completedReds:      c("completed_reds"),
+		bypassReds:         c("bypass_reds"),
+		evictions:          c("evictions"),
+		partialFlushes:     c("partial_flushes"),
+		timeoutEvictions:   c("timeout_evictions"),
+		syncReleases:       c("sync_releases"),
+		nvlsTimeoutFlushes: c("nvls_timeout_flushes"),
+		syncDropped:        c("sync_dropped"),
+		syncDuplicates:     c("sync_duplicates"),
+		sessLifeSumPS:      c("session_lifetime_sum_ps"),
+		sessLifeCount:      c("session_lifetime_count"),
+		sessLifeUS:         reg.Hist(prefix + ".session_lifetime_us"),
+		skew:               make(map[uint64]*skewEntry),
+		skewSumPS:          c("skew_sum_ps"),
+		skewCount:          c("skew_count"),
+		skewMaxPS:          reg.Gauge(prefix + ".skew_max_ps"),
+		skewUS:             reg.Hist(prefix + ".skew_us"),
+		ldSkewSumPS:        c("load_skew_sum_ps"),
+		ldSkewCount:        c("load_skew_count"),
+		redSkewSum:         c("reduction_skew_sum_ps"),
+		redSkewCnt:         c("reduction_skew_count"),
 	}
 }
 
@@ -142,28 +150,31 @@ func (st *Stats) OpenSkewAddrs() int { return len(st.skew) }
 // Summary captures the collector into a plain value for reporting.
 func (st *Stats) Summary() Summary {
 	return Summary{
-		MulticastStores:  st.multicastStores.Value(),
-		PullReduces:      st.pullReduces.Value(),
-		PushReduces:      st.pushReduces.Value(),
-		MergedLoads:      st.mergedLoads.Value(),
-		LoadFetches:      st.loadFetches.Value(),
-		BypassLoads:      st.bypassLoads.Value(),
-		MergedReds:       st.mergedReds.Value(),
-		CompletedReds:    st.completedReds.Value(),
-		BypassReds:       st.bypassReds.Value(),
-		Evictions:        st.evictions.Value(),
-		PartialFlushes:   st.partialFlushes.Value(),
-		TimeoutEvictions: st.timeoutEvictions.Value(),
-		SyncReleases:     st.syncReleases.Value(),
-		SessLifeSum:      sim.Time(st.sessLifeSumPS.Value()),
-		SessLifeCount:    st.sessLifeCount.Value(),
-		SkewSum:          sim.Time(st.skewSumPS.Value()),
-		SkewCount:        st.skewCount.Value(),
-		SkewMax:          sim.FromPicoseconds(st.skewMaxPS.Value()),
-		LdSkewSum:        sim.Time(st.ldSkewSumPS.Value()),
-		LdSkewCount:      st.ldSkewCount.Value(),
-		RedSkewSum:       sim.Time(st.redSkewSum.Value()),
-		RedSkewCount:     st.redSkewCnt.Value(),
+		MulticastStores:    st.multicastStores.Value(),
+		PullReduces:        st.pullReduces.Value(),
+		PushReduces:        st.pushReduces.Value(),
+		MergedLoads:        st.mergedLoads.Value(),
+		LoadFetches:        st.loadFetches.Value(),
+		BypassLoads:        st.bypassLoads.Value(),
+		MergedReds:         st.mergedReds.Value(),
+		CompletedReds:      st.completedReds.Value(),
+		BypassReds:         st.bypassReds.Value(),
+		Evictions:          st.evictions.Value(),
+		PartialFlushes:     st.partialFlushes.Value(),
+		TimeoutEvictions:   st.timeoutEvictions.Value(),
+		SyncReleases:       st.syncReleases.Value(),
+		NvlsTimeoutFlushes: st.nvlsTimeoutFlushes.Value(),
+		SyncDropped:        st.syncDropped.Value(),
+		SyncDuplicates:     st.syncDuplicates.Value(),
+		SessLifeSum:        sim.Time(st.sessLifeSumPS.Value()),
+		SessLifeCount:      st.sessLifeCount.Value(),
+		SkewSum:            sim.Time(st.skewSumPS.Value()),
+		SkewCount:          st.skewCount.Value(),
+		SkewMax:            sim.FromPicoseconds(st.skewMaxPS.Value()),
+		LdSkewSum:          sim.Time(st.ldSkewSumPS.Value()),
+		LdSkewCount:        st.ldSkewCount.Value(),
+		RedSkewSum:         sim.Time(st.redSkewSum.Value()),
+		RedSkewCount:       st.redSkewCnt.Value(),
 	}
 }
 
@@ -207,6 +218,11 @@ type Summary struct {
 	// Group Sync Table.
 	SyncReleases int64
 
+	// Fault tolerance (plane failover).
+	NvlsTimeoutFlushes int64 // NVLS push sessions flushed partial by timeout/failover
+	SyncDropped        int64 // sync entries dropped when the plane failed
+	SyncDuplicates     int64 // duplicate registrations tolerated in fault mode
+
 	// Session lifetime (first arrival to release).
 	SessLifeSum   sim.Time
 	SessLifeCount int64
@@ -236,6 +252,9 @@ func (s Summary) Add(o Summary) Summary {
 	s.PartialFlushes += o.PartialFlushes
 	s.TimeoutEvictions += o.TimeoutEvictions
 	s.SyncReleases += o.SyncReleases
+	s.NvlsTimeoutFlushes += o.NvlsTimeoutFlushes
+	s.SyncDropped += o.SyncDropped
+	s.SyncDuplicates += o.SyncDuplicates
 	s.SessLifeSum += o.SessLifeSum
 	s.SessLifeCount += o.SessLifeCount
 	s.SkewSum += o.SkewSum

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestRetryFirstAttemptImmediate(t *testing.T) {
+	eng := NewEngine()
+	calls := 0
+	Retry(eng, Backoff{}, func(n int) bool {
+		calls++
+		if n != 1 {
+			t.Fatalf("attempt number = %d, want 1", n)
+		}
+		return true
+	}, nil)
+	if calls != 1 {
+		t.Fatalf("attempt ran %d times before Run, want 1 (synchronous first attempt)", calls)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("successful first attempt left %d events pending", eng.Pending())
+	}
+}
+
+func TestRetryExponentialSpacing(t *testing.T) {
+	eng := NewEngine()
+	var at []Time
+	Retry(eng, Backoff{Base: 1 * Microsecond, Factor: 2}, func(n int) bool {
+		at = append(at, eng.Now())
+		return n >= 4
+	}, nil)
+	eng.Run()
+	// Attempts at 0, base, base+2*base, base+2*base+4*base.
+	want := []Time{0, 1 * Microsecond, 3 * Microsecond, 7 * Microsecond}
+	if len(at) != len(want) {
+		t.Fatalf("got %d attempts, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("attempt %d at %v, want %v", i+1, at[i], want[i])
+		}
+	}
+}
+
+func TestRetryMaxCapsDelay(t *testing.T) {
+	eng := NewEngine()
+	var at []Time
+	Retry(eng, Backoff{Base: 1 * Microsecond, Factor: 4, Max: 2 * Microsecond}, func(n int) bool {
+		at = append(at, eng.Now())
+		return n >= 4
+	}, nil)
+	eng.Run()
+	// Delays: 1us, min(4us,2us)=2us, min(16us,2us)=2us.
+	want := []Time{0, 1 * Microsecond, 3 * Microsecond, 5 * Microsecond}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("attempt %d at %v, want %v", i+1, at[i], want[i])
+		}
+	}
+}
+
+func TestRetryGiveUp(t *testing.T) {
+	eng := NewEngine()
+	attempts, gaveUp := 0, false
+	Retry(eng, Backoff{Base: Nanosecond, Attempts: 3}, func(n int) bool {
+		attempts++
+		return false
+	}, func() { gaveUp = true })
+	eng.Run()
+	if attempts != 3 {
+		t.Errorf("ran %d attempts, want 3", attempts)
+	}
+	if !gaveUp {
+		t.Error("onGiveUp did not run after the attempt budget was exhausted")
+	}
+}
+
+func TestRetryUnlimitedUntilSuccess(t *testing.T) {
+	eng := NewEngine()
+	attempts := 0
+	Retry(eng, Backoff{Base: Nanosecond, Max: 4 * Nanosecond}, func(n int) bool {
+		attempts++
+		return n >= 20
+	}, func() { t.Error("onGiveUp ran for an unlimited policy") })
+	eng.Run()
+	if attempts != 20 {
+		t.Errorf("ran %d attempts, want 20", attempts)
+	}
+}

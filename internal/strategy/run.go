@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cais/internal/config"
+	"cais/internal/faults"
 	"cais/internal/kernel"
 	"cais/internal/machine"
 	"cais/internal/metrics"
@@ -40,6 +41,10 @@ type Options struct {
 	// event loop every ProgressEvery engine steps (heartbeat logging).
 	Progress      func(now sim.Time, steps uint64)
 	ProgressEvery uint64
+	// Faults, when non-nil and non-empty, is the fault schedule injected
+	// into the run (DESIGN.md §8). Nil or empty reproduces the unfaulted
+	// run bit-for-bit.
+	Faults *faults.Schedule
 }
 
 // Result is the outcome of one simulated run.
@@ -507,6 +512,7 @@ func newMachine(hw config.Hardware, spec Spec, opts Options) *machine.Machine {
 		Eviction:            opts.Eviction,
 		NoControlSideband:   opts.NoControlSideband,
 		Tracer:              opts.Tracer,
+		Faults:              opts.Faults,
 	})
 }
 

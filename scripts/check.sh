@@ -1,8 +1,8 @@
 #!/bin/sh
 # check.sh — the repo's pre-merge gate, mirrored by .github/workflows/ci.yml.
 # Runs formatting, vet, build, caislint (the determinism & unit-safety
-# analyzer), the full test suite, and the race detector on the
-# concurrency-sensitive packages.
+# analyzer), the full test suite (plain and under the race detector), and
+# the quick fault-injection smoke.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,10 +27,13 @@ go run ./cmd/caislint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (trace, metrics, sim)"
-go test -race ./internal/trace/ ./internal/metrics/ ./internal/sim/
+echo "== go test -race"
+go test -race ./...
 
 echo "== disabled-tracer zero-alloc benchmark"
 go test -run='^$' -bench=BenchmarkDisabledHotPath -benchmem ./internal/trace/
+
+echo "== resilience smoke (fault-injection degradation study, quick)"
+go run ./cmd/caissim -experiment resilience -quick
 
 echo "OK"
