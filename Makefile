@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race resilience-smoke bench clean
+.PHONY: all build test check vet fmt lint race resilience-smoke parallel-smoke bench bench-quick clean
 
 all: check
 
@@ -21,6 +21,11 @@ race:
 resilience-smoke: build
 	$(GO) run ./cmd/caissim -experiment resilience -quick
 
+# parallel-smoke: every experiment at reduced fidelity on a 4-worker sweep
+# pool — exercises the parallel executor end to end.
+parallel-smoke: build
+	$(GO) run ./cmd/caissim -experiment all -quick -parallel 4
+
 vet:
 	$(GO) vet ./...
 
@@ -35,8 +40,16 @@ fmt:
 
 check: fmt vet lint test race resilience-smoke
 
-bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/trace/ ./internal/metrics/
+# bench: the full benchmark suite (experiment drivers, engine hot path,
+# tracer, metrics) via scripts/bench.sh, which writes a dated
+# benchstat-compatible baseline to BENCH_<date>.json.
+bench: build
+	sh scripts/bench.sh
+
+# bench-quick: engine + tracer/metrics microbenchmarks only (skips the
+# slow experiment-level benchmarks).
+bench-quick: build
+	sh scripts/bench.sh -quick
 
 clean:
 	$(GO) clean ./...

@@ -38,6 +38,7 @@ func main() {
 		gpus       = flag.Int("gpus", 0, "override the GPU count (default: 8)")
 		requestKB  = flag.Int("request-kb", 0, "override the request granularity in KB")
 		seed       = flag.Uint64("seed", 0, "RNG seed for simulated jitter (0 = built-in default)")
+		parallel   = flag.Int("parallel", 0, "sweep worker pool size for experiments (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any value")
 		faultsFile = flag.String("faults", "", "JSON fault-injection schedule (strategy runs; see DESIGN.md §8)")
 		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (strategy runs)")
 		metricsOut = flag.String("metrics-json", "", "write the run's metric snapshot as JSON to this file (strategy runs)")
@@ -91,7 +92,7 @@ func main() {
 		if *faultsFile != "" {
 			fmt.Fprintln(os.Stderr, "note: -faults applies to -strategy runs only; the resilience experiment builds its own schedules")
 		}
-		runExperiments(*experiment, *quick, *seed)
+		runExperiments(*experiment, *quick, *seed, *parallel)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -105,7 +106,7 @@ func usageErr(what, got string, valid []string) {
 	os.Exit(2)
 }
 
-func runExperiments(id string, quick bool, seed uint64) {
+func runExperiments(id string, quick bool, seed uint64, workers int) {
 	cfg := cais.DefaultExperiments()
 	if quick {
 		cfg = cais.QuickExperiments()
@@ -113,6 +114,7 @@ func runExperiments(id string, quick bool, seed uint64) {
 	if seed != 0 {
 		cfg.HW.Seed = seed
 	}
+	cfg.Workers = workers
 	ids := []string{id}
 	if id == "all" {
 		ids = cais.ExperimentNames()

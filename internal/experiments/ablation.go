@@ -41,12 +41,21 @@ func AblationEviction(c Config) (*AblationResult, error) {
 	out := &AblationResult{Title: "merge-unit eviction policy (CAIS-w/o-Coord, LLaMA-7B L2, 40 KB/port)"}
 	sub := model.SubLayers(c.primaryModel())[1]
 	hw := c.microHW()
-	for _, pol := range []nvswitch.EvictionPolicy{nvswitch.EvictLRU, nvswitch.EvictFIFO, nvswitch.EvictMRU} {
+	policies := []nvswitch.EvictionPolicy{nvswitch.EvictLRU, nvswitch.EvictFIFO, nvswitch.EvictMRU}
+	results, err := mapPoints(c, len(policies), func(i int) (strategy.Result, error) {
+		pol := policies[i]
 		res, err := strategy.RunSubLayer(hw, strategy.CAISNoCoord(), sub, strategy.Options{Eviction: pol})
 		if err != nil {
-			return nil, fmt.Errorf("ablation eviction %v: %w", pol, err)
+			return strategy.Result{}, fmt.Errorf("ablation eviction %v: %w", pol, err)
 		}
-		out.add(pol.String(), res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Fold in index order: SlowdownPct references Rows[0] as the baseline.
+	for i, res := range results {
+		out.add(policies[i].String(), res)
 	}
 	return out, nil
 }
@@ -58,15 +67,23 @@ func AblationSideband(c Config) (*AblationResult, error) {
 	out := &AblationResult{Title: "control/request sideband (CAIS, LLaMA-7B L2)"}
 	sub := model.SubLayers(c.primaryModel())[1]
 	hw := c.microHW()
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		off  bool
-	}{{"sideband on (default)", false}, {"sideband off", true}} {
+	}{{"sideband on (default)", false}, {"sideband off", true}}
+	results, err := mapPoints(c, len(variants), func(i int) (strategy.Result, error) {
+		v := variants[i]
 		res, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, strategy.Options{NoControlSideband: v.off})
 		if err != nil {
-			return nil, fmt.Errorf("ablation sideband %s: %w", v.name, err)
+			return strategy.Result{}, fmt.Errorf("ablation sideband %s: %w", v.name, err)
 		}
-		out.add(v.name, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		out.add(variants[i].name, res)
 	}
 	return out, nil
 }
@@ -80,25 +97,30 @@ func AblationGranularity(c Config) (*AblationResult, error) {
 	if c.Quick {
 		sizes = sizes[1:]
 	}
-	for _, rb := range sizes {
+	rows, err := mapPoints(c, len(sizes), func(i int) (AblationRow, error) {
+		rb := sizes[i]
 		hw := c.HW
 		hw.RequestBytes = rb
 		caisRes, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, strategy.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("ablation granularity %d: %w", rb, err)
+			return AblationRow{}, fmt.Errorf("ablation granularity %d: %w", rb, err)
 		}
 		tp, err := strategy.RunSubLayer(hw, strategy.TPNVLS(), sub, strategy.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("ablation granularity %d: %w", rb, err)
+			return AblationRow{}, fmt.Errorf("ablation granularity %d: %w", rb, err)
 		}
-		out.Rows = append(out.Rows, AblationRow{
+		return AblationRow{
 			Variant:     fmt.Sprintf("%d KB requests", rb>>10),
 			Elapsed:     caisRes.Elapsed,
 			SlowdownPct: (caisRes.Speedup(tp) - 1) * 100, // speedup margin, in %
 			Flushes:     caisRes.Stats.PartialFlushes,
 			SkewUS:      caisRes.Stats.AvgSkew().Microseconds(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -40,18 +40,18 @@ type Fig2Result struct{ Rows []Fig2Row }
 // measured on an ideal fabric (near-infinite bandwidth, zero latency) and
 // communication is the exposed remainder on the real fabric.
 func Fig2(c Config) (*Fig2Result, error) {
-	out := &Fig2Result{}
 	counts := []int{1, 2, 4, 8, 16}
 	if c.Quick {
 		counts = []int{2, 8}
 	}
 	cfg := c.primaryModel()
-	for _, p := range counts {
+	rows, err := mapPoints(c, len(counts), func(i int) (Fig2Row, error) {
+		p := counts[i]
 		hw := c.e2eHW()
 		hw.NumGPUs = p
 		real, err := strategy.RunLayers(hw, strategy.SPNVLS(), cfg, false, c.layers())
 		if err != nil {
-			return nil, fmt.Errorf("fig2 p=%d: %w", p, err)
+			return Fig2Row{}, fmt.Errorf("fig2 p=%d: %w", p, err)
 		}
 		ideal := hw
 		ideal.LinkBandwidth *= 1e4
@@ -60,7 +60,7 @@ func Fig2(c Config) (*Fig2Result, error) {
 		ideal.SwitchLatency = 0
 		perfect, err := strategy.RunLayers(ideal, strategy.SPNVLS(), cfg, false, c.layers())
 		if err != nil {
-			return nil, fmt.Errorf("fig2 ideal p=%d: %w", p, err)
+			return Fig2Row{}, fmt.Errorf("fig2 ideal p=%d: %w", p, err)
 		}
 		compute := perfect.Elapsed
 		comm := real.Elapsed - perfect.Elapsed
@@ -71,9 +71,12 @@ func Fig2(c Config) (*Fig2Result, error) {
 		if row.ComputeMS > 0 {
 			row.Ratio = row.CommMS / row.ComputeMS
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig2Result{Rows: rows}, nil
 }
 
 // Render formats the Fig. 2 table.
@@ -133,8 +136,36 @@ func speedupStudy(c Config,
 	for _, s := range specs {
 		out.Strategies = append(out.Strategies, s.Name)
 	}
+
+	// Fan the (model, workload, strategy) cube out as independent points,
+	// then fold sequentially in the original nested order so rows,
+	// speedups and geomeans come out byte-identical to a sequential run.
+	models := c.models()
+	type runKey struct{ mi, wi, si int }
+	keys := make([]runKey, 0, len(models)*len(workloads)*len(specs))
+	for mi := range models {
+		for wi := range workloads {
+			for si := range specs {
+				keys = append(keys, runKey{mi, wi, si})
+			}
+		}
+	}
+	elapsed, err := mapPoints(c, len(keys), func(i int) (sim.Time, error) {
+		k := keys[i]
+		res, err := run(specs[k.si], models[k.mi], workloads[k.wi].training)
+		if err != nil {
+			return 0, fmt.Errorf("fig11 %s/%s/%s: %w",
+				models[k.mi].Name, workloads[k.wi].name, specs[k.si].Name, err)
+		}
+		return res.Elapsed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	samples := map[string][]float64{}
-	for _, cfg := range c.models() {
+	idx := 0
+	for _, cfg := range models {
 		for _, w := range workloads {
 			row := SpeedupRow{
 				Model: cfg.Name, Workload: w.name,
@@ -142,11 +173,8 @@ func speedupStudy(c Config,
 				Speedup: map[string]float64{},
 			}
 			for _, spec := range specs {
-				res, err := run(spec, cfg, w.training)
-				if err != nil {
-					return nil, fmt.Errorf("fig11 %s/%s/%s: %w", cfg.Name, w.name, spec.Name, err)
-				}
-				row.Elapsed[spec.Name] = res.Elapsed
+				row.Elapsed[spec.Name] = elapsed[idx]
+				idx++
 			}
 			cais := row.Elapsed["CAIS"]
 			for name, e := range row.Elapsed {
@@ -210,37 +238,66 @@ func Fig12(c Config) (*Fig12Result, error) {
 	for _, s := range specs {
 		out.Strategies = append(out.Strategies, s.Name)
 	}
-	samples := map[string][]float64{}
 	hw := c.microHW()
+
+	// Flatten the (model, sub-layer, strategy) cube into independent
+	// points; fold in nested order afterwards.
+	type subKey struct {
+		model config.Model
+		sub   model.SubLayer
+	}
+	var cells []subKey
 	for _, cfg := range c.models() {
 		subs := model.SubLayers(cfg)
 		if c.Quick {
 			subs = subs[:2]
 		}
 		for _, sub := range subs {
-			row := SpeedupRow{
-				Model: cfg.Name, Workload: sub.ID,
-				Elapsed: map[string]sim.Time{},
-				Speedup: map[string]float64{},
-			}
-			for _, spec := range specs {
-				res, err := strategy.RunSubLayer(hw, spec, sub, strategy.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("fig12 %s/%s/%s: %w", cfg.Name, sub.ID, spec.Name, err)
-				}
-				row.Elapsed[spec.Name] = res.Elapsed
-			}
-			cais := row.Elapsed["CAIS"]
-			for name, e := range row.Elapsed {
-				if name == "CAIS" || cais == 0 {
-					continue
-				}
-				sp := float64(e) / float64(cais)
-				row.Speedup[name] = sp
-				samples[name] = append(samples[name], sp)
-			}
-			out.Rows = append(out.Rows, row)
+			cells = append(cells, subKey{model: cfg, sub: sub})
 		}
+	}
+	type runKey struct{ ci, si int }
+	keys := make([]runKey, 0, len(cells)*len(specs))
+	for ci := range cells {
+		for si := range specs {
+			keys = append(keys, runKey{ci, si})
+		}
+	}
+	elapsed, err := mapPoints(c, len(keys), func(i int) (sim.Time, error) {
+		k := keys[i]
+		cell := cells[k.ci]
+		res, err := strategy.RunSubLayer(hw, specs[k.si], cell.sub, strategy.Options{})
+		if err != nil {
+			return 0, fmt.Errorf("fig12 %s/%s/%s: %w", cell.model.Name, cell.sub.ID, specs[k.si].Name, err)
+		}
+		return res.Elapsed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	samples := map[string][]float64{}
+	idx := 0
+	for _, cell := range cells {
+		row := SpeedupRow{
+			Model: cell.model.Name, Workload: cell.sub.ID,
+			Elapsed: map[string]sim.Time{},
+			Speedup: map[string]float64{},
+		}
+		for _, spec := range specs {
+			row.Elapsed[spec.Name] = elapsed[idx]
+			idx++
+		}
+		cais := row.Elapsed["CAIS"]
+		for name, e := range row.Elapsed {
+			if name == "CAIS" || cais == 0 {
+				continue
+			}
+			sp := float64(e) / float64(cais)
+			row.Speedup[name] = sp
+			samples[name] = append(samples[name], sp)
+		}
+		out.Rows = append(out.Rows, row)
 	}
 	for _, s := range out.Strategies {
 		if xs := samples[s]; len(xs) > 0 {
@@ -300,8 +357,8 @@ func Fig17(c Config) (*Fig17Result, error) {
 	base := counts[0]
 	cfg0 := c.primaryModel()
 	type point struct{ cais, coco float64 }
-	points := map[int]point{}
-	for _, p := range counts {
+	points, err := mapPoints(c, len(counts), func(i int) (point, error) {
+		p := counts[i]
 		// Fine request granularity: at coarse chunks the merge table
 		// quantizes to one session per port and thrashes at high GPU
 		// counts, which is a simulation artifact, not a CAIS property.
@@ -314,7 +371,7 @@ func Fig17(c Config) (*Fig17Result, error) {
 		for _, spec := range []strategy.Spec{strategy.CAIS(), strategy.CoCoNetNVLS()} {
 			res, err := strategy.RunLayers(hw, spec, cfg, false, 1)
 			if err != nil {
-				return nil, fmt.Errorf("fig17 p=%d %s: %w", p, spec.Name, err)
+				return point{}, fmt.Errorf("fig17 p=%d %s: %w", p, spec.Name, err)
 			}
 			flopsPerGPU := layerFlopsPerGPU(cfg, p)
 			tput := flopsPerGPU / res.Elapsed.Seconds()
@@ -324,15 +381,18 @@ func Fig17(c Config) (*Fig17Result, error) {
 				pt.coco = tput
 			}
 		}
-		points[p] = pt
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	norm := points[base].cais
+	norm := points[0].cais
 	out := &Fig17Result{}
-	for _, p := range counts {
+	for i, p := range counts {
 		out.Rows = append(out.Rows, Fig17Row{
 			GPUs:        p,
-			CAIS:        points[p].cais / norm,
-			CoCoNetNVLS: points[p].coco / norm,
+			CAIS:        points[i].cais / norm,
+			CoCoNetNVLS: points[i].coco / norm,
 		})
 	}
 	return out, nil
@@ -388,32 +448,36 @@ func Table2(c Config) (*Table2Result, error) {
 		half = config.Model{Name: "Half", Hidden: 2048, FFNHidden: 5632, Heads: 16,
 			SeqLen: full.SeqLen, Batch: full.Batch, Layers: 1}
 	}
-	out := &Table2Result{}
 	fullSMs, halfSMs := 2*c.HW.SMsPerGPU, c.HW.SMsPerGPU
 	if c.Quick {
 		fullSMs, halfSMs = c.HW.SMsPerGPU, c.HW.SMsPerGPU/2
 	}
-	for _, setup := range []struct {
+	setups := []struct {
 		cfg config.Model
 		sms int
-	}{{full, fullSMs}, {half, halfSMs}} {
+	}{{full, fullSMs}, {half, halfSMs}}
+	rows, err := mapPoints(c, len(setups), func(i int) (Table2Row, error) {
+		setup := setups[i]
 		hw := c.e2eHW()
 		hw.SMsPerGPU = setup.sms
 		cais, err := strategy.RunLayers(hw, strategy.CAIS(), setup.cfg, false, 1)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
+			return Table2Row{}, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
 		}
 		tp, err := strategy.RunLayers(hw, strategy.TPNVLS(), setup.cfg, false, 1)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
+			return Table2Row{}, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
 		}
-		out.Rows = append(out.Rows, Table2Row{
+		return Table2Row{
 			Setup: setup.cfg.Name, Hidden: setup.cfg.Hidden, FFN: setup.cfg.FFNHidden,
 			Heads: setup.cfg.Heads, SMs: setup.sms,
 			Speedup: cais.Speedup(tp),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Table2Result{Rows: rows}, nil
 }
 
 // Render formats the Table II table.

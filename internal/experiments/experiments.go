@@ -10,6 +10,7 @@ import (
 
 	"cais/internal/config"
 	"cais/internal/sim"
+	"cais/internal/sweep"
 )
 
 // Config tunes experiment fidelity.
@@ -26,6 +27,13 @@ type Config struct {
 	// Layers simulated per end-to-end run (layer homogeneity scales the
 	// result to full depth; DESIGN.md §1).
 	Layers int
+
+	// Workers bounds the sweep worker pool fanning independent simulation
+	// points out across goroutines (caissim -parallel). <= 0 selects
+	// GOMAXPROCS; 1 runs strictly sequentially. Every driver collects
+	// results by point index, so the rendered output is byte-identical at
+	// any worker count (DESIGN.md "Parallel sweeps & engine hot path").
+	Workers int
 }
 
 // Default returns the full-fidelity configuration.
@@ -150,6 +158,15 @@ func Run(id string, c Config) (string, error) {
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
 	}
 	return r(c)
+}
+
+// mapPoints fans n independent simulation points out on the configured
+// worker pool, collecting results by index. Each point must build its own
+// engine/machine (strategy.Run* always does); the fold back into rows,
+// maps and geomeans happens sequentially in the caller, in index order, so
+// output bytes do not depend on Workers.
+func mapPoints[T any](c Config, n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep.Map(n, c.Workers, fn)
 }
 
 type renderer interface{ Render() string }

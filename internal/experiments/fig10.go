@@ -31,11 +31,12 @@ type Fig10Result struct{ Rows []Fig10Row }
 func Fig10(c Config) (*Fig10Result, error) {
 	sub := model.SubLayers(c.primaryModel())[1]
 	hw := c.microHW()
-	out := &Fig10Result{}
-	for _, spec := range []strategy.Spec{strategy.SPNVLS(), strategy.T3NVLS(), strategy.CAISBase(), strategy.CAIS()} {
+	specs := []strategy.Spec{strategy.SPNVLS(), strategy.T3NVLS(), strategy.CAISBase(), strategy.CAIS()}
+	rows, err := mapPoints(c, len(specs), func(i int) (Fig10Row, error) {
+		spec := specs[i]
 		res, err := strategy.RunSubLayer(hw, spec, sub, strategy.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", spec.Name, err)
+			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", spec.Name, err)
 		}
 		up, down := res.Machine.DirectionTraffic()
 		total := float64(up + down)
@@ -43,15 +44,18 @@ func Fig10(c Config) (*Fig10Result, error) {
 		if total > 0 {
 			imb = abs64(float64(up)-float64(down)) / total
 		}
-		out.Rows = append(out.Rows, Fig10Row{
+		return Fig10Row{
 			Strategy:  spec.Name,
 			UpGB:      float64(up) / 1e9,
 			DownGB:    float64(down) / 1e9,
 			Imbalance: imb,
 			Elapsed:   res.Elapsed.String(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig10Result{Rows: rows}, nil
 }
 
 func abs64(x float64) float64 {

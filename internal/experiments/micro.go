@@ -34,37 +34,52 @@ type Fig13aResult struct {
 func Fig13a(c Config) (*Fig13aResult, error) {
 	out := &Fig13aResult{}
 	hw := c.microHW()
-	var sumRatio float64
-	var n int
+	type cell struct {
+		modelName string
+		sub       model.SubLayer
+	}
+	var cells []cell
 	for _, cfg := range c.microModels() {
 		subs := model.SubLayers(cfg)
 		if c.Quick {
 			subs = subs[:1]
 		}
 		for _, sub := range subs {
-			// "Merge all eligible requests": unlimited capacity and no
-			// forward-progress timeout, so every session waits for its
-			// full request set and the high-water mark is the true
-			// buffering requirement.
-			opts := strategy.Options{UnlimitedMergeTable: true, NoMergeTimeout: true}
-			coord, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig13a %s/%s coord: %w", cfg.Name, sub.ID, err)
-			}
-			uncoord, err := strategy.RunSubLayer(hw, strategy.CAISNoCoord(), sub, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig13a %s/%s uncoord: %w", cfg.Name, sub.ID, err)
-			}
-			row := Fig13aRow{
-				Model: cfg.Name, SubLayer: sub.ID,
-				CoordKB:   float64(coord.MergeHWM) / 1024,
-				UncoordKB: float64(uncoord.MergeHWM) / 1024,
-			}
-			out.Rows = append(out.Rows, row)
-			if row.UncoordKB > 0 {
-				sumRatio += 1 - row.CoordKB/row.UncoordKB
-				n++
-			}
+			cells = append(cells, cell{modelName: cfg.Name, sub: sub})
+		}
+	}
+	// Each point runs one cell's coordinated and uncoordinated probes.
+	rows, err := mapPoints(c, len(cells), func(i int) (Fig13aRow, error) {
+		cl := cells[i]
+		// "Merge all eligible requests": unlimited capacity and no
+		// forward-progress timeout, so every session waits for its
+		// full request set and the high-water mark is the true
+		// buffering requirement.
+		opts := strategy.Options{UnlimitedMergeTable: true, NoMergeTimeout: true}
+		coord, err := strategy.RunSubLayer(hw, strategy.CAIS(), cl.sub, opts)
+		if err != nil {
+			return Fig13aRow{}, fmt.Errorf("fig13a %s/%s coord: %w", cl.modelName, cl.sub.ID, err)
+		}
+		uncoord, err := strategy.RunSubLayer(hw, strategy.CAISNoCoord(), cl.sub, opts)
+		if err != nil {
+			return Fig13aRow{}, fmt.Errorf("fig13a %s/%s uncoord: %w", cl.modelName, cl.sub.ID, err)
+		}
+		return Fig13aRow{
+			Model: cl.modelName, SubLayer: cl.sub.ID,
+			CoordKB:   float64(coord.MergeHWM) / 1024,
+			UncoordKB: float64(uncoord.MergeHWM) / 1024,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumRatio float64
+	var n int
+	for _, row := range rows {
+		out.Rows = append(out.Rows, row)
+		if row.UncoordKB > 0 {
+			sumRatio += 1 - row.CoordKB/row.UncoordKB
+			n++
 		}
 	}
 	if n > 0 {
@@ -110,17 +125,20 @@ func Fig13b(c Config) (*Fig13bResult, error) {
 	}
 	sub := model.SubLayers(c.primaryModel())[1] // the paper's L2
 	hw := c.microHW()
-	out := &Fig13bResult{}
-	for _, st := range steps {
+	rows, err := mapPoints(c, len(steps), func(i int) (Fig13bRow, error) {
+		st := steps[i]
 		res, err := strategy.RunSubLayer(hw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true})
 		if err != nil {
-			return nil, fmt.Errorf("fig13b %s: %w", st.name, err)
+			return Fig13bRow{}, fmt.Errorf("fig13b %s: %w", st.name, err)
 		}
-		out.Rows = append(out.Rows, Fig13bRow{
+		return Fig13bRow{
 			Step: st.name, SkewUS: res.Stats.AvgSkew().Microseconds(), Elapsed: res.Elapsed,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig13bResult{Rows: rows}, nil
 }
 
 func withCoord(s strategy.Spec, preLaunch, preAccess, throttle bool) strategy.Spec {
@@ -167,26 +185,29 @@ func Fig14(c Config) (*Fig14Result, error) {
 	sub := model.SubLayers(c.primaryModel())[1]
 	hw := c.microHW()
 	type pair struct{ cais, unc sim.Time }
-	points := map[int]pair{}
-	for _, kb := range sizes {
+	points, err := mapPoints(c, len(sizes), func(i int) (pair, error) {
+		kb := sizes[i]
 		opts := strategy.Options{MergeTableBytes: int64(kb) << 10}
 		cais, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig14 cais %dKB: %w", kb, err)
+			return pair{}, fmt.Errorf("fig14 cais %dKB: %w", kb, err)
 		}
 		unc, err := strategy.RunSubLayer(hw, strategy.CAISNoCoord(), sub, opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig14 uncoord %dKB: %w", kb, err)
+			return pair{}, fmt.Errorf("fig14 uncoord %dKB: %w", kb, err)
 		}
-		points[kb] = pair{cais: cais.Elapsed, unc: unc.Elapsed}
+		return pair{cais: cais.Elapsed, unc: unc.Elapsed}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	ref := points[sizes[len(sizes)-1]].cais
+	ref := points[len(sizes)-1].cais
 	out := &Fig14Result{}
-	for _, kb := range sizes {
+	for i, kb := range sizes {
 		out.Rows = append(out.Rows, Fig14Row{
 			TableKB: kb,
-			CAIS:    float64(ref) / float64(points[kb].cais),
-			Uncoord: float64(ref) / float64(points[kb].unc),
+			CAIS:    float64(ref) / float64(points[i].cais),
+			Uncoord: float64(ref) / float64(points[i].unc),
 		})
 	}
 	return out, nil
@@ -224,34 +245,54 @@ type Fig15Result struct {
 func Fig15(c Config) (*Fig15Result, error) {
 	out := &Fig15Result{}
 	hw := c.microHW()
-	var n float64
+	specs := []strategy.Spec{strategy.CAISBase(), strategy.CAISPartial(), strategy.CAIS()}
+	type cell struct {
+		modelName string
+		sub       model.SubLayer
+	}
+	var cells []cell
 	for _, cfg := range c.microModels() {
 		subs := model.SubLayers(cfg)
 		if c.Quick {
 			subs = subs[:1]
 		}
 		for _, sub := range subs {
-			row := Fig15Row{Model: cfg.Name, SubLayer: sub.ID}
-			for _, v := range []struct {
-				spec strategy.Spec
-				dst  *float64
-			}{
-				{strategy.CAISBase(), &row.BasePct},
-				{strategy.CAISPartial(), &row.PartPct},
-				{strategy.CAIS(), &row.CAISPct},
-			} {
-				res, err := strategy.RunSubLayer(hw, v.spec, sub, strategy.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("fig15 %s/%s/%s: %w", cfg.Name, sub.ID, v.spec.Name, err)
-				}
-				*v.dst = res.AvgUtil * 100
-			}
-			out.Rows = append(out.Rows, row)
-			out.AvgBase += row.BasePct
-			out.AvgPartial += row.PartPct
-			out.AvgCAIS += row.CAISPct
-			n++
+			cells = append(cells, cell{modelName: cfg.Name, sub: sub})
 		}
+	}
+	// Flatten (cell, strategy) into independent utilization probes.
+	type runKey struct{ ci, si int }
+	keys := make([]runKey, 0, len(cells)*len(specs))
+	for ci := range cells {
+		for si := range specs {
+			keys = append(keys, runKey{ci, si})
+		}
+	}
+	utils, err := mapPoints(c, len(keys), func(i int) (float64, error) {
+		k := keys[i]
+		cl := cells[k.ci]
+		res, err := strategy.RunSubLayer(hw, specs[k.si], cl.sub, strategy.Options{})
+		if err != nil {
+			return 0, fmt.Errorf("fig15 %s/%s/%s: %w", cl.modelName, cl.sub.ID, specs[k.si].Name, err)
+		}
+		return res.AvgUtil * 100, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var n float64
+	idx := 0
+	for _, cl := range cells {
+		row := Fig15Row{Model: cl.modelName, SubLayer: cl.sub.ID}
+		row.BasePct = utils[idx]
+		row.PartPct = utils[idx+1]
+		row.CAISPct = utils[idx+2]
+		idx += 3
+		out.Rows = append(out.Rows, row)
+		out.AvgBase += row.BasePct
+		out.AvgPartial += row.PartPct
+		out.AvgCAIS += row.CAISPct
+		n++
 	}
 	if n > 0 {
 		out.AvgBase /= n
@@ -293,18 +334,23 @@ func Fig16(c Config) (*Fig16Result, error) {
 	if c.Quick {
 		bin = 50 * sim.Microsecond
 	}
-	out := &Fig16Result{}
-	for _, spec := range []strategy.Spec{strategy.CAISBase(), strategy.CAISPartial(), strategy.CAIS()} {
-		series := metrics.NewUtilSeries(bin, 2*hw.NumGPUs*hw.NumSwitchPlanes)
+	specs := []strategy.Spec{strategy.CAISBase(), strategy.CAISPartial(), strategy.CAIS()}
+	series, err := mapPoints(c, len(specs), func(i int) (Fig16Series, error) {
+		spec := specs[i]
+		// Each point owns its private recorder; nothing is shared.
+		rec := metrics.NewUtilSeries(bin, 2*hw.NumGPUs*hw.NumSwitchPlanes)
 		_, err := strategy.RunSubLayer(hw, spec, sub, strategy.Options{
-			Configure: func(m *machine.Machine) { m.AttachRecorder(series) },
+			Configure: func(m *machine.Machine) { m.AttachRecorder(rec) },
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig16 %s: %w", spec.Name, err)
+			return Fig16Series{}, fmt.Errorf("fig16 %s: %w", spec.Name, err)
 		}
-		out.Series = append(out.Series, Fig16Series{Name: spec.Name, Bin: bin, Util: series.Utilization()})
+		return Fig16Series{Name: spec.Name, Bin: bin, Util: rec.Utilization()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig16Result{Series: series}, nil
 }
 
 // Render formats the Fig. 16 series as a sparkline-style table.

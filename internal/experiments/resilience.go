@@ -133,8 +133,44 @@ func Resilience(c Config) (*ResilienceResult, error) {
 	}
 	sub := model.SubLayers(c.primaryModel())[1] // the paper's L2
 	hw := c.microHW()
+
+	// Flatten the (family, scenario, strategy) cube into independent
+	// simulation points, fan them out, then fold sequentially below in the
+	// original nested order (the healthy anchor and geomean samples depend
+	// on fold order, not run order).
+	families := resilienceFamilies(c.Quick)
+	type runKey struct {
+		sched *faults.Schedule
+		tag   string
+		spec  strategy.Spec
+	}
+	var keys []runKey
+	for _, fam := range families {
+		for _, sc := range fam.scenarios {
+			for _, spec := range specs {
+				keys = append(keys, runKey{
+					sched: sc.sched,
+					tag:   fam.name + "/" + sc.severity + "/" + spec.Name,
+					spec:  spec,
+				})
+			}
+		}
+	}
+	elapsed, err := mapPoints(c, len(keys), func(i int) (sim.Time, error) {
+		k := keys[i]
+		res, err := strategy.RunSubLayer(hw, k.spec, sub, strategy.Options{Faults: k.sched})
+		if err != nil {
+			return 0, fmt.Errorf("resilience %s: %w", k.tag, err)
+		}
+		return res.Elapsed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	samples := map[string][]float64{}
-	for _, fam := range resilienceFamilies(c.Quick) {
+	idx := 0
+	for _, fam := range families {
 		healthy := map[string]sim.Time{}
 		for _, sc := range fam.scenarios {
 			row := ResilienceRow{
@@ -144,16 +180,14 @@ func Resilience(c Config) (*ResilienceResult, error) {
 				RelTput: map[string]float64{},
 			}
 			for _, spec := range specs {
-				res, err := strategy.RunSubLayer(hw, spec, sub, strategy.Options{Faults: sc.sched})
-				if err != nil {
-					return nil, fmt.Errorf("resilience %s/%s/%s: %w", fam.name, sc.severity, spec.Name, err)
-				}
-				row.Elapsed[spec.Name] = res.Elapsed
+				e := elapsed[idx]
+				idx++
+				row.Elapsed[spec.Name] = e
 				if sc.sched == nil {
-					healthy[spec.Name] = res.Elapsed
+					healthy[spec.Name] = e
 				}
-				if h := healthy[spec.Name]; h > 0 && res.Elapsed > 0 {
-					row.RelTput[spec.Name] = float64(h) / float64(res.Elapsed)
+				if h := healthy[spec.Name]; h > 0 && e > 0 {
+					row.RelTput[spec.Name] = float64(h) / float64(e)
 				}
 			}
 			cais := row.Elapsed["CAIS"]
@@ -200,22 +234,21 @@ func resilienceWaits(c Config, sub model.SubLayer) ([]ResilienceWaitRow, error) 
 		{"CAIS w/o coordination", strategy.CAISNoCoord(), straggle("wait-straggler-2", 2)},
 	}
 	mhw := c.microHW()
-	var out []ResilienceWaitRow
-	for _, st := range steps {
+	return mapPoints(c, len(steps), func(i int) (ResilienceWaitRow, error) {
+		st := steps[i]
 		res, err := strategy.RunSubLayer(mhw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true, Faults: st.sched})
 		if err != nil {
-			return nil, fmt.Errorf("resilience waits %s: %w", st.name, err)
+			return ResilienceWaitRow{}, fmt.Errorf("resilience waits %s: %w", st.name, err)
 		}
 		gpus := "healthy"
 		if st.sched != nil {
 			gpus = "gpu0 2x slower"
 		}
-		out = append(out, ResilienceWaitRow{
+		return ResilienceWaitRow{
 			Config: st.name, GPUs: gpus,
 			SkewUS: res.Stats.AvgSkew().Microseconds(), Elapsed: res.Elapsed,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Render formats the degradation tables.

@@ -52,27 +52,33 @@ func Fig18(c Config) (*Fig18Result, error) {
 	// (kernel launch overhead plus expected launch-jitter absorption).
 	alpha := hw.KernelLaunchOverhead + hw.KernelLaunchJitter
 
-	out := &Fig18Result{}
-	var errSum float64
-	for _, mb := range sizesMB {
+	rows, err := mapPoints(c, len(sizesMB), func(i int) (Fig18Row, error) {
+		mb := sizesMB[i]
 		bytes := int64(mb) << 20
 		simT, err := runAllReduce(hw, bytes, true)
 		if err != nil {
-			return nil, fmt.Errorf("fig18 %dMB nvls: %w", mb, err)
+			return Fig18Row{}, fmt.Errorf("fig18 %dMB nvls: %w", mb, err)
 		}
 		ringT, err := runAllReduce(hw, bytes, false)
 		if err != nil {
-			return nil, fmt.Errorf("fig18 %dMB ring: %w", mb, err)
+			return Fig18Row{}, fmt.Errorf("fig18 %dMB ring: %w", mb, err)
 		}
 		refT := alpha + sim.DurationForBytes(bytes, algbw)
 		e := math.Abs(float64(simT)-float64(refT)) / float64(refT) * 100
-		errSum += e
-		out.Rows = append(out.Rows, Fig18Row{
+		return Fig18Row{
 			SizeMB: mb,
 			SimMS:  ms(simT), RefMS: ms(refT), ErrPct: e,
 			RingMS: ms(ringT), NVLSGain: float64(ringT) / float64(simT),
 			BusBWGBs: float64(bytes) / simT.Seconds() / 1e9,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig18Result{Rows: rows}
+	var errSum float64
+	for _, row := range rows {
+		errSum += row.ErrPct
 	}
 	out.AvgErr = errSum / float64(len(sizesMB))
 	return out, nil

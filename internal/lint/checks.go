@@ -90,18 +90,28 @@ func checkRand(p *Package, f *ast.File, rep reporter) {
 	})
 }
 
-// checkGoroutine forbids `go` statements inside the engine packages: the
-// discrete-event simulator is single-threaded by design, and a goroutine
-// on the hot path reintroduces scheduler-dependent ordering.
+// checkGoroutine polices `go` statements. Engine packages forbid them
+// unconditionally: the discrete-event simulator is single-threaded by
+// design, and a goroutine on the hot path reintroduces scheduler-dependent
+// ordering. Everywhere else, concurrency must flow through the sanctioned
+// sites (internal/sweep's bounded pool, cmd/) so that parallel sweeps keep
+// the byte-identical-output contract instead of sprouting ad-hoc
+// goroutines with their own result-ordering bugs.
 func checkGoroutine(p *Package, f *ast.File, rc *resolved, rep reporter) {
-	if !rc.enginePkgs[p.Path] {
+	engine := rc.enginePkgs[p.Path]
+	if !engine && pathAllowed(p.Path, rc.concurrencyAllow) {
 		return
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		if g, ok := n.(*ast.GoStmt); ok {
-			rep(g.Pos(), CheckGoroutine,
-				"go statement in engine package %s; the simulator is single-threaded — schedule an event on sim.Engine instead",
-				p.Path)
+			if engine {
+				rep(g.Pos(), CheckGoroutine,
+					"go statement in engine package %s; the simulator is single-threaded — schedule an event on sim.Engine instead",
+					p.Path)
+			} else {
+				rep(g.Pos(), CheckGoroutine,
+					"go statement outside the sanctioned concurrency sites; fan independent points out with sweep.Map (internal/sweep) instead")
+			}
 		}
 		return true
 	})

@@ -18,7 +18,10 @@
 //     forbidden (truncation and non-associative float sums break digests).
 //   - goroutine: `go` statements are forbidden in the engine packages
 //     (sim, gpu, nvswitch, noc, machine) — the simulator is
-//     single-threaded by design.
+//     single-threaded by design — and everywhere else outside the
+//     sanctioned concurrency sites (internal/sweep's bounded worker pool
+//     and cmd/): parallelism belongs in sweep.Map, which fans independent
+//     simulation points out and collects results by index.
 //
 // Violations that are intentional carry a directive with a mandatory
 // reason:
@@ -86,9 +89,14 @@ type Config struct {
 	// WallclockAllow are import-path prefixes where wall-clock reads are
 	// legal. Default: <module>/cmd, <module>/internal/trace.
 	WallclockAllow []string
-	// EnginePackages are import paths where `go` statements are forbidden.
+	// EnginePackages are import paths where `go` statements are forbidden
+	// unconditionally (no allowlist applies).
 	// Default: <module>/internal/{sim,gpu,nvswitch,noc,machine}.
 	EnginePackages []string
+	// ConcurrencyAllow are import-path prefixes where `go` statements are
+	// legal outside the engine packages — the sanctioned concurrency
+	// sites. Default: <module>/internal/sweep, <module>/cmd.
+	ConcurrencyAllow []string
 	// UnitConvertAllow are import-path prefixes housing the audited
 	// float→time conversion helpers. Default: <module>/internal/sim.
 	UnitConvertAllow []string
@@ -96,10 +104,11 @@ type Config struct {
 
 // resolved is the config with module-path defaults filled in.
 type resolved struct {
-	timeTypes      map[string]bool
-	wallclockAllow []string
-	enginePkgs     map[string]bool
-	unitAllow      []string
+	timeTypes        map[string]bool
+	wallclockAllow   []string
+	enginePkgs       map[string]bool
+	concurrencyAllow []string
+	unitAllow        []string
 }
 
 func (c Config) resolve(module string) *resolved {
@@ -123,6 +132,10 @@ func (c Config) resolve(module string) *resolved {
 	}
 	for _, p := range eng {
 		r.enginePkgs[p] = true
+	}
+	r.concurrencyAllow = c.ConcurrencyAllow
+	if len(r.concurrencyAllow) == 0 {
+		r.concurrencyAllow = []string{module + "/internal/sweep", module + "/cmd"}
 	}
 	r.unitAllow = c.UnitConvertAllow
 	if len(r.unitAllow) == 0 {

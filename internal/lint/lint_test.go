@@ -137,11 +137,11 @@ func TestExpandPatterns(t *testing.T) {
 	}{
 		{[]string{"./..."}, []string{
 			"fixture/cmd/tool", "fixture/internal/gpu", "fixture/internal/sim",
-			"fixture/internal/trace", "fixture/internal/util",
+			"fixture/internal/sweep", "fixture/internal/trace", "fixture/internal/util",
 		}},
 		{[]string{"./internal/..."}, []string{
 			"fixture/internal/gpu", "fixture/internal/sim",
-			"fixture/internal/trace", "fixture/internal/util",
+			"fixture/internal/sweep", "fixture/internal/trace", "fixture/internal/util",
 		}},
 		{[]string{"./internal/sim", "./cmd/tool"}, []string{
 			"fixture/cmd/tool", "fixture/internal/sim",

@@ -1,0 +1,23 @@
+// Package sweep mirrors the real module's sanctioned concurrency site:
+// goroutines are allowed here (and only here, outside cmd/).
+package sweep
+
+import "sync"
+
+// Map fans fn out over n points on a pool of goroutines (allowed: this
+// package is the concurrency allowlist's default entry).
+func Map(n, workers int, fn func(i int) int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < n; i += workers {
+				out[i] = fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}

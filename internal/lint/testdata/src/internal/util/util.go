@@ -1,8 +1,17 @@
-// Package util sits outside the engine package list, so the goroutine
-// check does not apply here.
+// Package util sits outside both the engine package list and the
+// concurrency allowlist: raw goroutines are violations here, while going
+// through sweep.Map is the sanctioned pattern and passes.
 package util
 
-// Background spawns a goroutine outside the engine (allowed).
+import "fixture/internal/sweep"
+
+// Background spawns a raw goroutine outside the sanctioned sites.
 func Background(ch chan int) {
-	go func() { ch <- 1 }()
+	go func() { ch <- 1 }() // lintwant:goroutine
+}
+
+// Squares fans work out the sanctioned way: calling into sweep.Map is not
+// a `go` statement in this package and must lint clean.
+func Squares(n int) []int {
+	return sweep.Map(n, 4, func(i int) int { return i * i })
 }

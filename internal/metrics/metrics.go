@@ -30,7 +30,9 @@ func NewUtilSeries(bin sim.Time, links int) *UtilSeries {
 	if links < 1 {
 		links = 1
 	}
-	return &UtilSeries{bin: bin, links: links}
+	// Pre-size for a few hundred bins: sub-layer runs span O(100) bins, so
+	// the common case never regrows mid-run.
+	return &UtilSeries{bin: bin, links: links, busy: make([]sim.Time, 0, 256)}
 }
 
 // RecordBusy implements noc.BusyRecorder: the interval [start, end) is
@@ -46,7 +48,19 @@ func (s *UtilSeries) RecordBusy(start, end sim.Time, bytes int64) {
 	}
 	last := int((end - 1) / s.bin)
 	if last >= len(s.busy) {
-		s.busy = append(s.busy, make([]sim.Time, last+1-len(s.busy))...)
+		if last >= cap(s.busy) {
+			// Grow geometrically without the temporary slice an
+			// append(make(...)) would allocate on every extension.
+			c := 2 * cap(s.busy)
+			if c <= last {
+				c = last + 1
+			}
+			grown := make([]sim.Time, last+1, c)
+			copy(grown, s.busy)
+			s.busy = grown
+		} else {
+			s.busy = s.busy[:last+1]
+		}
 	}
 	for t := start; t < end; {
 		idx := int(t / s.bin)

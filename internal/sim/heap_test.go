@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestEventHeapOrderMatchesSortedReference drains the 4-ary heap on random
+// workloads and checks the pop order against a stable sort by (at, seq) —
+// the full ordering contract of the event queue, including the FIFO
+// tie-break for same-instant events.
+func TestEventHeapOrderMatchesSortedReference(t *testing.T) {
+	rng := NewRNG(0xBEEF)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + int(rng.Uint64()%2000)
+		h := &eventHeap{}
+		ref := make([]event, 0, n)
+		for i := 0; i < n; i++ {
+			// Few distinct timestamps: tie-breaking is the hard part.
+			ev := event{at: Time(rng.Uint64() % 37), seq: uint64(i)}
+			h.push(ev)
+			ref = append(ref, ev)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i].before(&ref[j]) })
+		for i := range ref {
+			got := h.pop()
+			if got.at != ref[i].at || got.seq != ref[i].seq {
+				t.Fatalf("trial %d pop %d = (at=%d seq=%d), want (at=%d seq=%d)",
+					trial, i, got.at, got.seq, ref[i].at, ref[i].seq)
+			}
+		}
+		if h.len() != 0 {
+			t.Fatalf("trial %d: heap not drained, %d left", trial, h.len())
+		}
+	}
+}
+
+// TestEventHeapInterleavedPushPop exercises the steady-state pop+push cycle
+// (the hold pattern) and checks the invariant that pops never go backwards
+// in (at, seq) order relative to what the pending set allows.
+func TestEventHeapInterleavedPushPop(t *testing.T) {
+	rng := NewRNG(7)
+	h := &eventHeap{}
+	var seq uint64
+	push := func(at Time) {
+		seq++
+		h.push(event{at: at, seq: seq})
+	}
+	for i := 0; i < 256; i++ {
+		push(Time(rng.Uint64() % 100))
+	}
+	lastAt := Time(-1)
+	for i := 0; i < 10_000; i++ {
+		ev := h.pop()
+		if ev.at < lastAt {
+			t.Fatalf("pop %d went backwards in time: %d after %d", i, ev.at, lastAt)
+		}
+		lastAt = ev.at
+		// Hold: reinsert at or after the popped timestamp.
+		push(ev.at + Time(rng.Uint64()%50))
+	}
+}

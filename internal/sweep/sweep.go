@@ -1,0 +1,119 @@
+// Package sweep is the repository's single sanctioned concurrency site: a
+// bounded worker pool that fans fully independent simulation points out
+// across goroutines and collects their results by index.
+//
+// The determinism contract: each point owns its private sim.Engine,
+// machine and metric registry (nothing is shared between points), results
+// land in a slice slot fixed by the point's index, and callers fold the
+// slice sequentially — so the rendered tables, telemetry digests and trace
+// digests of a parallel sweep are byte-identical to the sequential run.
+// Goroutine scheduling can only change *when* a point computes its result,
+// never *what* the result is or where it lands.
+//
+// caislint enforces the "single site" half of the contract: `go`
+// statements anywhere else in the module (outside cmd/) are lint
+// violations, and the engine packages forbid them unconditionally.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select GOMAXPROCS
+// (one worker per schedulable CPU), anything else passes through.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// panicValue carries a worker panic (with its index for deterministic
+// selection) back to the Map caller.
+type panicValue struct {
+	index int
+	value any
+}
+
+// Map evaluates fn(0..n-1) on a pool of `workers` goroutines (<= 0 means
+// GOMAXPROCS, 1 runs inline with no goroutines) and returns the results
+// indexed by point. All points are attempted; if any fail, the error of
+// the lowest-index failing point is returned — the same error a
+// sequential loop would surface first, so error output is independent of
+// worker count. A panicking point re-panics in the caller (again lowest
+// index first), preserving the engine's panic-on-bug guards.
+//
+// fn must be safe to call concurrently with itself on distinct indices:
+// in this codebase that means each point builds its own engine and
+// machine and touches no shared mutable state.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Sequential fast path: no goroutines, first error aborts — the
+		// exact pre-parallelization behavior.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panics  []panicValue
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							panics = append(panics, panicValue{index: i, value: r})
+							panicMu.Unlock()
+						}
+					}()
+					out[i], errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.index < first.index {
+				first = p
+			}
+		}
+		panic(first.value)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}

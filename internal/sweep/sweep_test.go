@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroPoints(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+// TestMapReturnsLowestIndexError pins the error-determinism contract: no
+// matter which worker finishes first, the surfaced error is the one a
+// sequential loop would have hit first.
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		_, err := Map(40, workers, func(i int) (int, error) {
+			if i%10 == 3 { // fails at 3, 13, 23, 33
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want point 3 failed", workers, err)
+		}
+	}
+}
+
+func TestMapSequentialStopsAtFirstError(t *testing.T) {
+	var calls int32
+	sentinel := errors.New("boom")
+	_, err := Map(10, 1, func(i int) (int, error) {
+		atomic.AddInt32(&calls, 1)
+		if i == 2 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("sequential path ran %d points after failure, want 3", calls)
+	}
+}
+
+// TestMapRepanicsLowestIndex checks that a panicking point resurfaces in
+// the caller (the engine's step-limit and causality guards are panics and
+// must stay fatal under parallel sweeps), picking the lowest index when
+// several points blow up.
+func TestMapRepanicsLowestIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Map swallowed the panic")
+		}
+		if s, ok := r.(string); !ok || s != "kaboom 5" {
+			t.Fatalf("recovered %v, want kaboom 5", r)
+		}
+	}()
+	Map(20, 4, func(i int) (int, error) {
+		if i >= 5 && i%5 == 0 { // panics at 5, 10, 15
+			panic(fmt.Sprintf("kaboom %d", i))
+		}
+		return i, nil
+	})
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Skip("no CPUs")
+	}
+	const workers = 4
+	var inflight, peak atomic.Int32
+	gate := make(chan struct{})
+	_, err := Map(workers, workers, func(i int) (int, error) {
+		cur := inflight.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		// Rendezvous: every worker must be in-flight at once before any
+		// may leave, proving the pool really fans out.
+		if cur == workers {
+			close(gate)
+		}
+		<-gate
+		inflight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got != workers {
+		t.Fatalf("peak concurrency %d, want %d", got, workers)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", Workers(-3))
+	}
+	if Workers(5) != 5 {
+		t.Errorf("Workers(5) = %d", Workers(5))
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the package-local half of the
+// sweep determinism suite: identical inputs produce identical outputs at
+// every worker count and across repeated runs.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(100, workers, func(i int) (int, error) { return 31*i + i*i%97, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{1, 2, 3, 8, 0} {
+		for rep := 0; rep < 3; rep++ {
+			got := run(w)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d rep=%d: out[%d] = %d, want %d", w, rep, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

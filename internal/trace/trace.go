@@ -98,9 +98,12 @@ type Tracer struct {
 	nextID  uint64
 }
 
-// New returns an empty, enabled tracer.
+// New returns an empty, enabled tracer. The event buffer is pre-sized:
+// even a quick sub-layer run emits thousands of events, so starting from a
+// nil slice costs a dozen doubling copies per run for nothing.
 func New() *Tracer {
 	return &Tracer{
+		events:  make([]event, 0, 4096),
 		procs:   make(map[int32]string),
 		threads: make(map[int64]string),
 	}

@@ -1,0 +1,119 @@
+package cais_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"runtime"
+	"testing"
+
+	"cais"
+	"cais/internal/sweep"
+)
+
+// The parallel half of the determinism suite: fanning sweep points out
+// over a worker pool must not change a single output byte. These tests pin
+// the contract at both levels — rendered experiment tables through the
+// Config.Workers knob, and raw telemetry/trace digests through sweep.Map
+// directly.
+
+// renderExperiment runs one experiment at the given worker count.
+func renderExperiment(t *testing.T, id string, workers int) string {
+	t.Helper()
+	cfg := cais.QuickExperiments()
+	cfg.Workers = workers
+	out, err := cais.RunExperiment(id, cfg)
+	if err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, workers, err)
+	}
+	return out
+}
+
+// TestParallelExperimentTablesByteIdentical renders experiment tables at
+// -parallel 1, 2 and GOMAXPROCS and requires byte-identical output, plus a
+// repeated parallel run to catch scheduling-dependent flakiness.
+func TestParallelExperimentTablesByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig11", "fig2"} {
+		ref := renderExperiment(t, id, 1)
+		for _, workers := range []int{2, 0} {
+			if got := renderExperiment(t, id, workers); got != ref {
+				t.Errorf("%s: workers=%d output differs from sequential\nseq sha256 %x\npar sha256 %x",
+					id, workers, sha256.Sum256([]byte(ref)), sha256.Sum256([]byte(got)))
+			}
+		}
+		if a, b := renderExperiment(t, id, 2), renderExperiment(t, id, 2); a != b {
+			t.Errorf("%s: repeated parallel runs differ", id)
+		}
+	}
+	// Resilience has the most intricate fold (nested cube, healthy anchors,
+	// geomeans); one sequential-vs-parallel comparison covers it without
+	// quintupling the suite's runtime.
+	if testing.Short() {
+		return
+	}
+	if got, ref := renderExperiment(t, "resilience", 4), renderExperiment(t, "resilience", 1); got != ref {
+		t.Error("resilience: parallel output differs from sequential")
+	}
+}
+
+// pointDigest hashes everything observable about one sweep point: the
+// scalar results plus the full telemetry and trace byte streams.
+type pointDigest struct {
+	elapsed   cais.Time
+	steps     uint64
+	telemetry [sha256.Size]byte
+	trace     [sha256.Size]byte
+}
+
+// digestPoints runs a 3-point request-granularity sweep through sweep.Map
+// at the given worker count, digesting each point. Each point builds its
+// own engine, machine and tracer — the isolation sweep.Map requires.
+func digestPoints(t *testing.T, workers int) []pointDigest {
+	t.Helper()
+	hw := cais.DGXH100()
+	hw.Seed = 0xD37E12
+	m := cais.Model{Name: "Tiny", Hidden: 512, FFNHidden: 2048, Heads: 4, SeqLen: 512, Batch: 2, Layers: 2}
+	sizes := []int64{16 << 10, 32 << 10, 64 << 10}
+	out, err := sweep.Map(len(sizes), workers, func(i int) (pointDigest, error) {
+		phw := hw
+		phw.RequestBytes = sizes[i]
+		tr := cais.NewTracer()
+		res, err := cais.RunInferenceOpts(phw, cais.CAIS(), m, 1, cais.RunOptions{Tracer: tr})
+		if err != nil {
+			return pointDigest{}, err
+		}
+		var tele, spans bytes.Buffer
+		if err := res.Telemetry.WriteJSON(&tele); err != nil {
+			return pointDigest{}, err
+		}
+		if err := tr.WriteJSON(&spans); err != nil {
+			return pointDigest{}, err
+		}
+		return pointDigest{
+			elapsed:   res.Elapsed,
+			steps:     res.Machine.Eng.Steps(),
+			telemetry: sha256.Sum256(tele.Bytes()),
+			trace:     sha256.Sum256(spans.Bytes()),
+		}, nil
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return out
+}
+
+// TestParallelSweepDigestsByteIdentical checks the stronger property under
+// the rendered tables: each point's telemetry and trace digests — not just
+// the summary rows — are independent of the worker count and stable across
+// repeated parallel runs.
+func TestParallelSweepDigestsByteIdentical(t *testing.T) {
+	ref := digestPoints(t, 1)
+	workerCounts := []int{2, runtime.GOMAXPROCS(0), 2}
+	for _, workers := range workerCounts {
+		got := digestPoints(t, workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d point %d: digest differs from sequential run", workers, i)
+			}
+		}
+	}
+}

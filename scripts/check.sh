@@ -36,4 +36,7 @@ go test -run='^$' -bench=BenchmarkDisabledHotPath -benchmem ./internal/trace/
 echo "== resilience smoke (fault-injection degradation study, quick)"
 go run ./cmd/caissim -experiment resilience -quick
 
+echo "== parallel sweep smoke (all experiments, quick, 4 workers)"
+go run ./cmd/caissim -experiment all -quick -parallel 4 > /dev/null
+
 echo "OK"
