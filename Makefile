@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race resilience-smoke parallel-smoke bench bench-quick clean
+.PHONY: all build test check vet fmt lint race resilience-smoke parallel-smoke bench bench-quick bench-diff clean
 
 all: check
 
@@ -50,6 +50,13 @@ bench: build
 # slow experiment-level benchmarks).
 bench-quick: build
 	sh scripts/bench.sh -quick
+
+# bench-diff: benchstat-style comparison of a fresh quick benchmark run
+# against the newest committed BENCH_*.json baseline; flags >10% ns/op
+# regressions and any allocs/op increase. Pass baselines explicitly with
+# `sh scripts/bench_diff.sh OLD.json NEW.json`. Non-gating in CI.
+bench-diff: build
+	sh scripts/bench_diff.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,77 @@
+package cais_test
+
+import (
+	"testing"
+
+	"cais/internal/experiments"
+)
+
+// Allocation ceilings for the three benchmark workloads the PR-5 pooling
+// overhaul targets (see DESIGN.md §10). The ceilings are set at 50% of the
+// pre-pooling baseline (BENCH_20260806.json: Fig17 13.18M, Table2 7.44M,
+// Fig13b 4.49M allocs/op); the pooled hot path measures well under them
+// (roughly 40% of baseline), so headroom is real but bounded — a change
+// that reintroduces per-packet or per-request allocation trips these
+// before it reaches a benchmark diff.
+const (
+	allocCeilingFig17  = 6_591_669 // 50% of 13_183_339
+	allocCeilingTable2 = 3_720_003 // 50% of 7_440_006
+	allocCeilingFig13b = 2_245_615 // 50% of 4_491_230
+)
+
+// allocsForRun measures one quick-fidelity sequential regeneration.
+// Workers is pinned to 1: testing.AllocsPerRun sets GOMAXPROCS to 1, and a
+// sequential sweep keeps the measurement free of worker-pool scheduling
+// noise.
+func allocsForRun(t *testing.T, fn func(c experiments.Config) error) float64 {
+	t.Helper()
+	cfg := experiments.Quick()
+	cfg.Workers = 1
+	return testing.AllocsPerRun(1, func() {
+		if err := fn(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocCeilingFig17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin runs full quick sweeps")
+	}
+	got := allocsForRun(t, func(c experiments.Config) error {
+		_, err := experiments.Fig17(c)
+		return err
+	})
+	t.Logf("Fig17 allocs/run: %.0f (ceiling %d)", got, allocCeilingFig17)
+	if got > allocCeilingFig17 {
+		t.Errorf("Fig17 allocates %.0f per run, over the pinned ceiling %d", got, allocCeilingFig17)
+	}
+}
+
+func TestAllocCeilingTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin runs full quick sweeps")
+	}
+	got := allocsForRun(t, func(c experiments.Config) error {
+		_, err := experiments.Table2(c)
+		return err
+	})
+	t.Logf("Table2 allocs/run: %.0f (ceiling %d)", got, allocCeilingTable2)
+	if got > allocCeilingTable2 {
+		t.Errorf("Table2 allocates %.0f per run, over the pinned ceiling %d", got, allocCeilingTable2)
+	}
+}
+
+func TestAllocCeilingFig13Coordination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin runs full quick sweeps")
+	}
+	got := allocsForRun(t, func(c experiments.Config) error {
+		_, err := experiments.Fig13b(c)
+		return err
+	})
+	t.Logf("Fig13b allocs/run: %.0f (ceiling %d)", got, allocCeilingFig13b)
+	if got > allocCeilingFig13b {
+		t.Errorf("Fig13b allocates %.0f per run, over the pinned ceiling %d", got, allocCeilingFig13b)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"cais/internal/experiments"
 	"cais/internal/faults"
 	"cais/internal/machine"
+	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/sim"
@@ -50,6 +51,11 @@ type (
 	SessionOptions = machine.Options
 	// ExperimentConfig tunes experiment fidelity.
 	ExperimentConfig = experiments.Config
+	// MemoCache is the cross-sweep simulation-point cache: attach one via
+	// ExperimentConfig.Memo so experiment drivers sharing anchor points
+	// simulate each point once per invocation (DESIGN.md §10). Output is
+	// byte-identical with and without it.
+	MemoCache = memo.Cache
 	// Time is simulated time in picoseconds.
 	Time = sim.Time
 	// Tracer records simulation events for Perfetto/Chrome trace viewers.
@@ -142,6 +148,10 @@ func ParseFaultSchedule(data []byte) (*FaultSchedule, error) { return faults.Par
 func NewSession(hw Hardware, opts SessionOptions) (*Session, error) {
 	return core.NewSession(hw, opts)
 }
+
+// NewMemoCache creates an empty simulation-point cache for
+// ExperimentConfig.Memo.
+func NewMemoCache() *MemoCache { return memo.NewCache() }
 
 // DefaultExperiments returns the full-fidelity experiment configuration.
 func DefaultExperiments() ExperimentConfig { return experiments.Default() }

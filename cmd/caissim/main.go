@@ -39,6 +39,7 @@ func main() {
 		requestKB  = flag.Int("request-kb", 0, "override the request granularity in KB")
 		seed       = flag.Uint64("seed", 0, "RNG seed for simulated jitter (0 = built-in default)")
 		parallel   = flag.Int("parallel", 0, "sweep worker pool size for experiments (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any value")
+		noMemo     = flag.Bool("no-memo", false, "disable cross-sweep point memoization; every experiment point simulates cold (output is byte-identical either way)")
 		faultsFile = flag.String("faults", "", "JSON fault-injection schedule (strategy runs; see DESIGN.md §8)")
 		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (strategy runs)")
 		metricsOut = flag.String("metrics-json", "", "write the run's metric snapshot as JSON to this file (strategy runs)")
@@ -92,7 +93,7 @@ func main() {
 		if *faultsFile != "" {
 			fmt.Fprintln(os.Stderr, "note: -faults applies to -strategy runs only; the resilience experiment builds its own schedules")
 		}
-		runExperiments(*experiment, *quick, *seed, *parallel)
+		runExperiments(*experiment, *quick, *seed, *parallel, *noMemo)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -106,7 +107,7 @@ func usageErr(what, got string, valid []string) {
 	os.Exit(2)
 }
 
-func runExperiments(id string, quick bool, seed uint64, workers int) {
+func runExperiments(id string, quick bool, seed uint64, workers int, noMemo bool) {
 	cfg := cais.DefaultExperiments()
 	if quick {
 		cfg = cais.QuickExperiments()
@@ -115,6 +116,11 @@ func runExperiments(id string, quick bool, seed uint64, workers int) {
 		cfg.HW.Seed = seed
 	}
 	cfg.Workers = workers
+	// One cache per invocation: points repeated across figure drivers (the
+	// shared TP-NVLS / CAIS anchors) simulate once under -experiment all.
+	if !noMemo {
+		cfg.Memo = cais.NewMemoCache()
+	}
 	ids := []string{id}
 	if id == "all" {
 		ids = cais.ExperimentNames()
@@ -139,6 +145,10 @@ func runExperiments(id string, quick bool, seed uint64, workers int) {
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %v]\n\n", x, time.Since(start).Round(time.Millisecond))
+	}
+	if cfg.Memo != nil {
+		fmt.Fprintf(os.Stderr, "[memo: %d lookups, %d served from cache, %d points simulated]\n",
+			cfg.Memo.Lookups(), cfg.Memo.Hits(), cfg.Memo.Misses())
 	}
 }
 

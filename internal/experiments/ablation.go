@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/nvswitch"
@@ -42,11 +43,11 @@ func AblationEviction(c Config) (*AblationResult, error) {
 	sub := model.SubLayers(c.primaryModel())[1]
 	hw := c.microHW()
 	policies := []nvswitch.EvictionPolicy{nvswitch.EvictLRU, nvswitch.EvictFIFO, nvswitch.EvictMRU}
-	results, err := mapPoints(c, len(policies), func(i int) (strategy.Result, error) {
+	results, err := mapPoints(c, len(policies), func(i int) (memo.Entry, error) {
 		pol := policies[i]
-		res, err := strategy.RunSubLayer(hw, strategy.CAISNoCoord(), sub, strategy.Options{Eviction: pol})
+		res, err := memo.RunSubLayer(c.Memo, hw, strategy.CAISNoCoord(), sub, strategy.Options{Eviction: pol})
 		if err != nil {
-			return strategy.Result{}, fmt.Errorf("ablation eviction %v: %w", pol, err)
+			return memo.Entry{}, fmt.Errorf("ablation eviction %v: %w", pol, err)
 		}
 		return res, nil
 	})
@@ -71,11 +72,11 @@ func AblationSideband(c Config) (*AblationResult, error) {
 		name string
 		off  bool
 	}{{"sideband on (default)", false}, {"sideband off", true}}
-	results, err := mapPoints(c, len(variants), func(i int) (strategy.Result, error) {
+	results, err := mapPoints(c, len(variants), func(i int) (memo.Entry, error) {
 		v := variants[i]
-		res, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, strategy.Options{NoControlSideband: v.off})
+		res, err := memo.RunSubLayer(c.Memo, hw, strategy.CAIS(), sub, strategy.Options{NoControlSideband: v.off})
 		if err != nil {
-			return strategy.Result{}, fmt.Errorf("ablation sideband %s: %w", v.name, err)
+			return memo.Entry{}, fmt.Errorf("ablation sideband %s: %w", v.name, err)
 		}
 		return res, nil
 	})
@@ -101,11 +102,11 @@ func AblationGranularity(c Config) (*AblationResult, error) {
 		rb := sizes[i]
 		hw := c.HW
 		hw.RequestBytes = rb
-		caisRes, err := strategy.RunSubLayer(hw, strategy.CAIS(), sub, strategy.Options{})
+		caisRes, err := memo.RunSubLayer(c.Memo, hw, strategy.CAIS(), sub, strategy.Options{})
 		if err != nil {
 			return AblationRow{}, fmt.Errorf("ablation granularity %d: %w", rb, err)
 		}
-		tp, err := strategy.RunSubLayer(hw, strategy.TPNVLS(), sub, strategy.Options{})
+		tp, err := memo.RunSubLayer(c.Memo, hw, strategy.TPNVLS(), sub, strategy.Options{})
 		if err != nil {
 			return AblationRow{}, fmt.Errorf("ablation granularity %d: %w", rb, err)
 		}
@@ -124,7 +125,7 @@ func AblationGranularity(c Config) (*AblationResult, error) {
 	return out, nil
 }
 
-func (r *AblationResult) add(name string, res strategy.Result) {
+func (r *AblationResult) add(name string, res memo.Entry) {
 	row := AblationRow{
 		Variant: name, Elapsed: res.Elapsed,
 		Flushes: res.Stats.PartialFlushes,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"cais/internal/config"
+	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/sim"
@@ -49,7 +50,7 @@ func Fig2(c Config) (*Fig2Result, error) {
 		p := counts[i]
 		hw := c.e2eHW()
 		hw.NumGPUs = p
-		real, err := strategy.RunLayers(hw, strategy.SPNVLS(), cfg, false, c.layers())
+		real, err := memo.RunLayers(c.Memo, hw, strategy.SPNVLS(), cfg, false, c.layers(), strategy.Options{})
 		if err != nil {
 			return Fig2Row{}, fmt.Errorf("fig2 p=%d: %w", p, err)
 		}
@@ -58,7 +59,7 @@ func Fig2(c Config) (*Fig2Result, error) {
 		ideal.LinkEfficiency = 1
 		ideal.LinkLatency = 0
 		ideal.SwitchLatency = 0
-		perfect, err := strategy.RunLayers(ideal, strategy.SPNVLS(), cfg, false, c.layers())
+		perfect, err := memo.RunLayers(c.Memo, ideal, strategy.SPNVLS(), cfg, false, c.layers(), strategy.Options{})
 		if err != nil {
 			return Fig2Row{}, fmt.Errorf("fig2 ideal p=%d: %w", p, err)
 		}
@@ -119,13 +120,13 @@ func Fig11(c Config) (*Fig11Result, error) {
 	if c.Quick {
 		workloads = workloads[:1]
 	}
-	return speedupStudy(c, func(spec strategy.Spec, cfg config.Model, training bool) (strategy.Result, error) {
-		return strategy.RunLayers(c.e2eHW(), spec, cfg, training, c.layers())
+	return speedupStudy(c, func(spec strategy.Spec, cfg config.Model, training bool) (memo.Entry, error) {
+		return memo.RunLayers(c.Memo, c.e2eHW(), spec, cfg, training, c.layers(), strategy.Options{})
 	}, workloads)
 }
 
 func speedupStudy(c Config,
-	run func(spec strategy.Spec, cfg config.Model, training bool) (strategy.Result, error),
+	run func(spec strategy.Spec, cfg config.Model, training bool) (memo.Entry, error),
 	workloads []struct {
 		name     string
 		training bool
@@ -266,7 +267,7 @@ func Fig12(c Config) (*Fig12Result, error) {
 	elapsed, err := mapPoints(c, len(keys), func(i int) (sim.Time, error) {
 		k := keys[i]
 		cell := cells[k.ci]
-		res, err := strategy.RunSubLayer(hw, specs[k.si], cell.sub, strategy.Options{})
+		res, err := memo.RunSubLayer(c.Memo, hw, specs[k.si], cell.sub, strategy.Options{})
 		if err != nil {
 			return 0, fmt.Errorf("fig12 %s/%s/%s: %w", cell.model.Name, cell.sub.ID, specs[k.si].Name, err)
 		}
@@ -369,7 +370,7 @@ func Fig17(c Config) (*Fig17Result, error) {
 		cfg.Layers = cfg0.Layers
 		var pt point
 		for _, spec := range []strategy.Spec{strategy.CAIS(), strategy.CoCoNetNVLS()} {
-			res, err := strategy.RunLayers(hw, spec, cfg, false, 1)
+			res, err := memo.RunLayers(c.Memo, hw, spec, cfg, false, 1, strategy.Options{})
 			if err != nil {
 				return point{}, fmt.Errorf("fig17 p=%d %s: %w", p, spec.Name, err)
 			}
@@ -460,11 +461,11 @@ func Table2(c Config) (*Table2Result, error) {
 		setup := setups[i]
 		hw := c.e2eHW()
 		hw.SMsPerGPU = setup.sms
-		cais, err := strategy.RunLayers(hw, strategy.CAIS(), setup.cfg, false, 1)
+		cais, err := memo.RunLayers(c.Memo, hw, strategy.CAIS(), setup.cfg, false, 1, strategy.Options{})
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
 		}
-		tp, err := strategy.RunLayers(hw, strategy.TPNVLS(), setup.cfg, false, 1)
+		tp, err := memo.RunLayers(c.Memo, hw, strategy.TPNVLS(), setup.cfg, false, 1, strategy.Options{})
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
 		}

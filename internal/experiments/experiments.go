@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"cais/internal/config"
+	"cais/internal/memo"
 	"cais/internal/sim"
 	"cais/internal/sweep"
 )
@@ -34,6 +35,13 @@ type Config struct {
 	// results by point index, so the rendered output is byte-identical at
 	// any worker count (DESIGN.md "Parallel sweeps & engine hot path").
 	Workers int
+
+	// Memo is the cross-sweep simulation-point cache (DESIGN.md §10). When
+	// set, drivers sharing anchor points — the repeated TP-NVLS / CAIS runs
+	// behind Figs. 11/12/15/16 and Table II — simulate each point once per
+	// invocation. Nil disables memoization (caissim -no-memo); output bytes
+	// are identical either way, only the run count changes.
+	Memo *memo.Cache
 }
 
 // Default returns the full-fidelity configuration.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/strategy"
@@ -34,11 +35,11 @@ func Fig10(c Config) (*Fig10Result, error) {
 	specs := []strategy.Spec{strategy.SPNVLS(), strategy.T3NVLS(), strategy.CAISBase(), strategy.CAIS()}
 	rows, err := mapPoints(c, len(specs), func(i int) (Fig10Row, error) {
 		spec := specs[i]
-		res, err := strategy.RunSubLayer(hw, spec, sub, strategy.Options{})
+		res, err := memo.RunSubLayer(c.Memo, hw, spec, sub, strategy.Options{})
 		if err != nil {
 			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", spec.Name, err)
 		}
-		up, down := res.Machine.DirectionTraffic()
+		up, down := res.UpBytes, res.DownBytes
 		total := float64(up + down)
 		imb := 0.0
 		if total > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cais/internal/faults"
+	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/sim"
@@ -158,7 +159,7 @@ func Resilience(c Config) (*ResilienceResult, error) {
 	}
 	elapsed, err := mapPoints(c, len(keys), func(i int) (sim.Time, error) {
 		k := keys[i]
-		res, err := strategy.RunSubLayer(hw, k.spec, sub, strategy.Options{Faults: k.sched})
+		res, err := memo.RunSubLayer(c.Memo, hw, k.spec, sub, strategy.Options{Faults: k.sched})
 		if err != nil {
 			return 0, fmt.Errorf("resilience %s: %w", k.tag, err)
 		}
@@ -236,7 +237,7 @@ func resilienceWaits(c Config, sub model.SubLayer) ([]ResilienceWaitRow, error) 
 	mhw := c.microHW()
 	return mapPoints(c, len(steps), func(i int) (ResilienceWaitRow, error) {
 		st := steps[i]
-		res, err := strategy.RunSubLayer(mhw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true, Faults: st.sched})
+		res, err := memo.RunSubLayer(c.Memo, mhw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true, Faults: st.sched})
 		if err != nil {
 			return ResilienceWaitRow{}, fmt.Errorf("resilience waits %s: %w", st.name, err)
 		}

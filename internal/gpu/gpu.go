@@ -12,6 +12,7 @@ import (
 	"cais/internal/config"
 	"cais/internal/kernel"
 	"cais/internal/noc"
+	"cais/internal/pool"
 	"cais/internal/sim"
 	"cais/internal/trace"
 )
@@ -66,6 +67,19 @@ type GPU struct {
 	nextPktID uint64
 	seed      uint64
 
+	// Free lists for the request hot path. pkts is the run-wide packet
+	// pool shared with the switches (wired by the assembly layer; nil
+	// degrades to plain allocation); the rest are private to this GPU.
+	pkts    *noc.PacketPool
+	ctxs    pool.Pool[accessCtx]
+	credits pool.Pool[chunkCredit]
+	runs    pool.Pool[tbRun]
+
+	// hbmJobs pairs pending HBM-reservation completions with the single
+	// cached hbmDoneFn closure (see access.go).
+	hbmJobs   pool.Ring[hbmJob]
+	hbmDoneFn func()
+
 	tr       *trace.Tracer
 	pid      int32
 	slotTids []int32 // free SM-slot trace tracks (only populated when tracing)
@@ -88,6 +102,7 @@ func New(eng *sim.Engine, id int, hw config.Hardware, planeOf func(addr uint64) 
 		tr:        trace.FromEngine(eng),
 		pid:       trace.GPUPid(id),
 	}
+	g.hbmDoneFn = g.hbmDone
 	if g.tr.Enabled() {
 		// SM-slot trace tracks, handed out lowest-numbered first so sparse
 		// occupancy renders on the top tracks.
@@ -107,6 +122,11 @@ func New(eng *sim.Engine, id int, hw config.Hardware, planeOf func(addr uint64) 
 
 // ConnectUp attaches the GPU->switch link for one plane.
 func (g *GPU) ConnectUp(plane int, link *noc.Link) { g.up[plane] = link }
+
+// SetPacketPool wires the run-wide packet free list (assembly layer). A
+// nil pool — the default for hand-wired unit tests — falls back to plain
+// allocation.
+func (g *GPU) SetPacketPool(pp *noc.PacketPool) { g.pkts = pp }
 
 // SetGroupRouter installs a fault-aware sync routing function (see
 // Synchronizer.Wait). The assembly layer points this at the machine's
@@ -164,49 +184,36 @@ func (g *GPU) hbmTime(n int64) sim.Time {
 	return sim.DurationForBytes(n, g.hw.HBMBandwidth)
 }
 
-// Receive implements noc.Endpoint for downlink traffic.
+// Receive implements noc.Endpoint for downlink traffic. HBM-bound work is
+// parked on the job ring and drained by the cached hbmDoneFn closure:
+// reservations are FIFO and same-instant events run in scheduling order,
+// so job k always pairs with the k-th completion (see access.go).
 func (g *GPU) Receive(p *noc.Packet) {
 	switch p.Op {
 	case noc.OpLoad, noc.OpReadFan:
 		// Serve a remote read from HBM, then respond on the address's
 		// plane so merge/pull sessions see the response.
 		_, end := g.hbm.Reserve(g.eng.Now(), g.hbmTime(p.Size))
-		g.eng.At(end, func() {
-			resp := &noc.Packet{
-				ID: g.pktID(), Op: noc.OpLoadResp, Addr: p.Addr, Home: g.ID,
-				Src: g.ID, Dst: p.Src, Size: p.Size, Group: p.Group, Tag: p.Tag,
-			}
-			g.sendUp(resp)
-		})
+		g.hbmJobs.PushBack(hbmJob{kind: jobServe, p: p})
+		g.eng.At(end, g.hbmDoneFn)
 
 	case noc.OpLoadResp:
 		// Requested data arrived: commit to HBM, then complete.
 		_, end := g.hbm.Reserve(g.eng.Now(), g.hbmTime(p.Size))
-		g.eng.At(end, func() {
-			switch {
-			case p.OnDone != nil:
-				p.OnDone()
-			default:
-				if ctx, ok := p.Tag.(*loadCtx); ok {
-					ctx.done()
-				}
-			}
-		})
+		g.hbmJobs.PushBack(hbmJob{kind: jobLoadResp, p: p})
+		g.eng.At(end, g.hbmDoneFn)
 
 	case noc.OpStore, noc.OpRedCAIS, noc.OpMultimemRed, noc.OpMultimemST:
 		// Incoming write/reduction/multicast data: commit to HBM, then
 		// notify the machine layer (tile publishing, contribution
 		// counting) and the issuer.
 		_, end := g.hbm.Reserve(g.eng.Now(), g.hbmTime(p.Size))
-		g.eng.At(end, func() {
-			g.sink.OnData(g.ID, p)
-			if p.OnDone != nil {
-				p.OnDone()
-			}
-		})
+		g.hbmJobs.PushBack(hbmJob{kind: jobData, p: p})
+		g.eng.At(end, g.hbmDoneFn)
 
 	case noc.OpSyncRelease:
 		g.sync.Release(p.Group, int(p.Addr))
+		g.pkts.Put(p)
 
 	default:
 		panic(fmt.Sprintf("gpu%d: unexpected downlink op %v", g.ID, p.Op))
@@ -224,127 +231,54 @@ func (g *GPU) issueAccess(a kernel.Access, group int, throttled bool, onIssued, 
 		if onIssued != nil {
 			g.eng.After(0, onIssued)
 		}
-		g.eng.At(end, func() {
-			if len(a.Publish) > 0 || a.PublishAt != nil {
-				g.sink.OnAccessDone(g.ID, a)
-			}
-			if onComplete != nil {
-				onComplete()
-			}
-		})
+		if len(a.Publish) > 0 || a.PublishAt != nil || onComplete != nil {
+			ctx := g.getAccessCtx()
+			ctx.a = a
+			ctx.onComplete = onComplete
+			g.hbmJobs.PushBack(hbmJob{kind: jobLocal, ctx: ctx})
+			g.eng.At(end, g.hbmDoneFn)
+		}
 		return
 	}
 
-	chunks := chunkSizes(a.Bytes, g.hw.RequestBytes)
-	n := len(chunks)
-	issued := sim.NewLatch(n)
-	if onIssued != nil {
-		issued.OnRelease(onIssued)
-	}
+	n := chunkCount(a.Bytes, g.hw.RequestBytes)
+	ctx := g.getAccessCtx()
+	ctx.a = a
+	ctx.group = group
+	ctx.onIssued = onIssued
+	ctx.onComplete = onComplete
 	// Reads publish their tiles at the issuing GPU once the data arrives;
 	// remote writes/reductions publish at the home GPU via the packet tag
 	// (never here — the issuer's completion is only a throttling signal).
-	publishHere := a.Sem == kernel.SemRead && (len(a.Publish) > 0 || a.PublishAt != nil)
-	var completed *sim.Latch
-	if onComplete != nil || publishHere {
-		completed = sim.NewLatch(n)
-		completed.OnRelease(func() {
-			if publishHere {
-				g.sink.OnAccessDone(g.ID, a)
-			}
-			if onComplete != nil {
-				onComplete()
-			}
-		})
-	}
+	ctx.publishHere = a.Sem == kernel.SemRead && (len(a.Publish) > 0 || a.PublishAt != nil)
+	// Throttling applies to reduction traffic: red.cais carries data
+	// uplink (the direction the merge footprint accumulates on), while
+	// ld.cais requests are header-only and already paced by the
+	// request/response round trip.
+	ctx.throttledReq = throttled && a.Mode == noc.OpRedCAIS
+	ctx.chunk = g.hw.RequestBytes
+	ctx.pendingIssue, ctx.pendingDone = n, n
 
-	var tag *TileTag
 	if writesData(a.Mode) {
 		need := a.TileNeed
 		if need <= 0 {
 			need = 1
 		}
-		tag = &TileTag{Base: a.Addr, NeedBytes: int64(need) * a.Bytes, Publish: a.Publish, PublishAt: a.PublishAt}
+		// The tag outlives the access context: multicast copies still in
+		// flight reference it at their receivers, so it stays a plain
+		// allocation rather than joining a pool.
+		ctx.tag = &TileTag{Base: a.Addr, NeedBytes: int64(need) * a.Bytes, Publish: a.Publish, PublishAt: a.PublishAt}
 	}
 
-	gate := func(bytes int64, fn func()) { fn() }
-	release := func(bytes int64) {}
-	// Throttling applies to reduction traffic: red.cais carries data
-	// uplink (the direction the merge footprint accumulates on), while
-	// ld.cais requests are header-only and already paced by the
-	// request/response round trip.
-	if throttled && a.Mode == noc.OpRedCAIS {
-		gate = g.throttle.Acquire
-		release = g.throttle.Release
+	if ctx.throttledReq {
+		for i := 0; i < n; i++ {
+			g.throttle.Acquire(chunkSize(i, a.Bytes, ctx.chunk), ctx.sendNextFn)
+		}
+		return
 	}
-
-	sendChunk := func(i int, onChunkDone func()) {
-		sz := chunks[i]
-		addr := a.Addr + uint64(i)
-		gate(sz, func() {
-			throttledReq := throttled && a.Mode == noc.OpRedCAIS
-			done := func() {
-				if !throttledReq {
-					release(sz)
-				}
-				if onChunkDone != nil {
-					onChunkDone()
-				}
-				if completed != nil {
-					completed.Done()
-				}
-			}
-			p := &noc.Packet{
-				ID: g.pktID(), Op: a.Mode, Addr: addr, Home: a.Home,
-				Src: g.ID, Dst: a.Home, Size: sz, Group: group,
-			}
-			if throttledReq {
-				// Release on the switch's acceptance credit, not on
-				// completion: completion of a merged request depends on
-				// peer GPUs and would convoy the window.
-				p.OnAccepted = func() { release(sz) }
-			}
-			switch a.Mode {
-			case noc.OpLdCAIS, noc.OpMultimemLdReduce:
-				p.Contribs = a.Expected
-				p.OnDone = done
-			case noc.OpLoad:
-				// Plain P2P loads route the completion through the tag:
-				// the home GPU copies the tag onto its response.
-				p.Contribs = a.Expected
-				p.Tag = &loadCtx{done: done}
-			case noc.OpStore, noc.OpMultimemST:
-				p.Contribs = 1
-				p.Tag = tag
-				p.OnDone = done
-			case noc.OpRedCAIS, noc.OpMultimemRed:
-				p.Contribs = a.Expected
-				p.Tag = tag
-				// Reductions complete (for throttling) when the merge
-				// session finishes or flushes at the switch.
-				p.OnDone = done
-				if a.Broadcast {
-					p.Dst = -1
-				} else if a.Mode == noc.OpMultimemRed {
-					p.Dst = a.Home
-				}
-			default:
-				panic(fmt.Sprintf("gpu%d: cannot issue op %v", g.ID, a.Mode))
-			}
-			g.sendUp(p)
-			issued.Done()
-		})
+	for i := 0; i < n; i++ {
+		ctx.sendChunk(i)
 	}
-
-	for i := range chunks {
-		sendChunk(i, nil)
-	}
-}
-
-// loadCtx carries a plain load's completion closure through the
-// request/response round trip.
-type loadCtx struct {
-	done func()
 }
 
 func writesData(op noc.Op) bool {

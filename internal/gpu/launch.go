@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cais/internal/kernel"
+	"cais/internal/pool"
 	"cais/internal/sim"
 )
 
@@ -33,8 +34,8 @@ type Launch struct {
 	active    int
 	started   bool
 	readyAt   sim.Time
-	buffered  []int    // eligible TBs seen before readyAt
-	ready     []*tbRun // dispatchable FIFO
+	buffered  []int             // eligible TBs seen before readyAt
+	ready     pool.Ring[*tbRun] // dispatchable deque (front = priority re-queue)
 	remaining int
 	done      bool
 
@@ -46,8 +47,14 @@ type Launch struct {
 	FinishedAt sim.Time
 }
 
-// tbRun is one thread block's runtime state.
+// tbRun is one thread block's runtime state. Runs are pooled per GPU and
+// recycled when the TB retires; the lifecycle transitions that used to be
+// per-TB closures (dispatch -> pre-phase -> compute -> post-phase ->
+// retire) are cached method values created once per object lifetime, so a
+// recycled run schedules its whole lifecycle without allocating.
 type tbRun struct {
+	g     *GPU
+	l     *Launch
 	tb    int
 	desc  kernel.TBDesc
 	group int // absolute group ID, -1 when ungrouped
@@ -55,10 +62,131 @@ type tbRun struct {
 	// loaded marks a coordinated TB whose pre-phase loads completed while
 	// it was suspended: on re-dispatch it goes straight to compute.
 	loaded bool
+	// yielded marks a pre-phase that released its SM slot while the group
+	// synchronizes: load completion then re-queues instead of computing.
+	yielded bool
+	// retireAfterPost: the direct post path still holds its SM slot and
+	// must retire; the sync post path released it before waiting.
+	retireAfterPost bool
+	prePending      int // pre-phase accesses not yet completed
+	postPending     int // post-phase accesses not yet fully issued
 
 	// SM-residency trace bookkeeping (slotTid < 0 when untraced/yielded).
 	slotTid   int32
 	slotStart sim.Time
+
+	// Cached method values (preserved across reset/reuse).
+	finishFn     func()
+	prePhaseFn   func()
+	postPhaseFn  func()
+	readyFn      func()
+	preLoadFn    func()
+	preDoneFn    func()
+	issuePostsFn func()
+	postIssuedFn func()
+}
+
+// reset clears per-TB state for pool reuse; the g back-pointer and cached
+// closures are the object's identity and survive (caislint: poolreset).
+func (r *tbRun) reset() {
+	r.l = nil
+	r.tb = 0
+	r.desc = kernel.TBDesc{}
+	r.group = 0
+	r.loaded = false
+	r.yielded = false
+	r.retireAfterPost = false
+	r.prePending = 0
+	r.postPending = 0
+	r.slotTid = 0
+	r.slotStart = 0
+}
+
+// getRun pops a recycled run and (first time only) installs its closures.
+func (g *GPU) getRun(l *Launch) *tbRun {
+	r := g.runs.Get()
+	if r.g == nil {
+		r.g = g
+		r.finishFn = r.finish
+		r.prePhaseFn = r.prePhase
+		r.postPhaseFn = r.postPhase
+		r.readyFn = r.enqueueReady
+		r.preLoadFn = r.preLoad
+		r.preDoneFn = r.preDone
+		r.issuePostsFn = r.issuePosts
+		r.postIssuedFn = r.postIssued
+	}
+	r.l = l
+	r.group = -1
+	r.slotTid = -1
+	return r
+}
+
+func (r *tbRun) finish()    { r.g.finishTB(r.l, r) }
+func (r *tbRun) prePhase()  { r.g.tbPrePhase(r.l, r) }
+func (r *tbRun) postPhase() { r.g.tbPostPhase(r.l, r) }
+
+// enqueueReady is the pre-launch sync release: releases arrive in
+// admission order, so appending preserves the cross-GPU dispatch order
+// (and keeps the home GPU's local-contribution TBs interleaved with their
+// groups).
+func (r *tbRun) enqueueReady() {
+	r.l.ready.PushBack(r)
+	r.g.trySchedule()
+}
+
+// preLoad is the pre-access sync release: issue every pre access with the
+// shared completion counter.
+func (r *tbRun) preLoad() {
+	r.prePending = len(r.desc.Pre)
+	for _, a := range r.desc.Pre {
+		r.g.issueAccess(a, r.group, r.l.K.Throttled, nil, r.preDoneFn)
+	}
+}
+
+// preDone accounts one pre access completing. A yielded TB re-queues with
+// priority (its data already arrived); a slot-holding TB starts compute.
+func (r *tbRun) preDone() {
+	r.prePending--
+	if r.prePending != 0 {
+		return
+	}
+	if r.yielded {
+		r.loaded = true
+		r.l.ready.PushFront(r)
+		r.g.trySchedule()
+		return
+	}
+	r.g.tbCompute(r.l, r)
+}
+
+// issuePosts issues every post access; the TB finishes when all are issued
+// (posted-write semantics).
+func (r *tbRun) issuePosts() {
+	if len(r.desc.Post) == 0 {
+		r.postComplete()
+		return
+	}
+	r.postPending = len(r.desc.Post)
+	for _, a := range r.desc.Post {
+		r.g.issueAccess(a, r.group, r.l.K.Throttled, r.postIssuedFn, nil)
+	}
+}
+
+// postIssued accounts one post access fully handed to the fabric.
+func (r *tbRun) postIssued() {
+	r.postPending--
+	if r.postPending == 0 {
+		r.postComplete()
+	}
+}
+
+func (r *tbRun) postComplete() {
+	if r.retireAfterPost {
+		r.g.tbRetire(r.l, r)
+		return
+	}
+	r.g.finishTB(r.l, r)
 }
 
 // Launch starts a kernel on this GPU. The caller (machine layer) marks TBs
@@ -135,25 +263,20 @@ func (l *Launch) MarkEligible(tb int) {
 // lives on another GPU) retire immediately without occupying an SM.
 func (l *Launch) admit(tb int) {
 	desc := l.K.Work(l.g.ID, tb)
-	run := &tbRun{tb: tb, desc: desc, group: -1, slotTid: -1}
+	run := l.g.getRun(l)
+	run.tb, run.desc = tb, desc
 	if isNoop(desc) {
-		l.g.eng.After(0, func() { l.g.finishTB(l, run) })
+		l.g.eng.After(0, run.finishFn)
 		return
 	}
 	if desc.Group >= 0 {
 		run.group = l.groupBase + desc.Group
 	}
 	if l.K.PreLaunchSync && run.group >= 0 && participates(l.K, desc.Pre, desc.Post) {
-		l.g.sync.Wait(run.group, PhasePreLaunch, l.groupPeers(desc), func() {
-			// Releases arrive in admission order, so appending preserves
-			// the cross-GPU dispatch order (and keeps the home GPU's
-			// local-contribution TBs interleaved with their groups).
-			l.ready = append(l.ready, run)
-			l.g.trySchedule()
-		})
+		l.g.sync.Wait(run.group, PhasePreLaunch, l.groupPeers(desc), run.readyFn)
 		return
 	}
-	l.ready = append(l.ready, run)
+	l.ready.PushBack(run)
 }
 
 // groupPeers is the number of GPUs registering this TB's group with the
@@ -201,11 +324,10 @@ func (g *GPU) trySchedule() {
 		n := len(g.launches)
 		for i := 0; i < n && g.slotsFree > 0; i++ {
 			l := g.launches[(g.rrLaunch+i)%n]
-			if l.done || !l.started || len(l.ready) == 0 || l.active >= l.limit {
+			if l.done || !l.started || l.ready.Len() == 0 || l.active >= l.limit {
 				continue
 			}
-			run := l.ready[0]
-			l.ready = l.ready[1:]
+			run := l.ready.PopFront()
 			g.dispatch(l, run)
 			g.rrLaunch = (g.rrLaunch + i + 1) % n
 			dispatched = true
@@ -222,7 +344,7 @@ func (g *GPU) dispatch(l *Launch, run *tbRun) {
 	g.slotsFree--
 	l.active++
 	g.slotAcquire(run)
-	g.eng.After(g.hw.TBOverhead, func() { g.tbPrePhase(l, run) })
+	g.eng.After(g.hw.TBOverhead, run.prePhaseFn)
 }
 
 // slotAcquire assigns a free SM-slot trace track to a dispatched TB.
@@ -263,17 +385,8 @@ func (g *GPU) tbPrePhase(l *Launch, run *tbRun) {
 		return
 	}
 	if l.K.PreAccessSync && run.group >= 0 && participates(l.K, run.desc.Pre) {
-		g.sync.Wait(run.group, PhasePreLoad, l.groupPeers(run.desc), func() {
-			latch := sim.NewLatch(len(run.desc.Pre))
-			latch.OnRelease(func() {
-				run.loaded = true
-				l.ready = append([]*tbRun{run}, l.ready...)
-				g.trySchedule()
-			})
-			for _, a := range run.desc.Pre {
-				g.issueAccess(a, run.group, l.K.Throttled, nil, latch.Done)
-			}
-		})
+		run.yielded = true
+		g.sync.Wait(run.group, PhasePreLoad, l.groupPeers(run.desc), run.preLoadFn)
 		// Yield the slot while the group synchronizes and the data moves.
 		g.slotRelease(l, run)
 		g.slotsFree++
@@ -285,11 +398,8 @@ func (g *GPU) tbPrePhase(l *Launch, run *tbRun) {
 		g.tbCompute(l, run)
 		return
 	}
-	latch := sim.NewLatch(len(run.desc.Pre))
-	latch.OnRelease(func() { g.tbCompute(l, run) })
-	for _, a := range run.desc.Pre {
-		g.issueAccess(a, run.group, l.K.Throttled, nil, latch.Done)
-	}
+	run.yielded = false
+	run.preLoad()
 }
 
 func anyMergeable(accs []kernel.Access) bool {
@@ -305,7 +415,7 @@ func anyMergeable(accs []kernel.Access) bool {
 // noise, then moves to the post phase.
 func (g *GPU) tbCompute(l *Launch, run *tbRun) {
 	d := g.computeTime(l, run)
-	g.eng.After(d, func() { g.tbPostPhase(l, run) })
+	g.eng.After(d, run.postPhaseFn)
 }
 
 // computeTime is the TB's roofline cost: max of compute and local-memory
@@ -337,19 +447,6 @@ func (g *GPU) computeTime(l *Launch, run *tbRun) sim.Time {
 // post access has been issued (posted-write semantics — downstream
 // dependencies are tracked at the home GPU).
 func (g *GPU) tbPostPhase(l *Launch, run *tbRun) {
-	issue := func(finish func()) func() {
-		return func() {
-			if len(run.desc.Post) == 0 {
-				finish()
-				return
-			}
-			issued := sim.NewLatch(len(run.desc.Post))
-			issued.OnRelease(finish)
-			for _, a := range run.desc.Post {
-				g.issueAccess(a, run.group, l.K.Throttled, issued.Done, nil)
-			}
-		}
-	}
 	if l.K.PreAccessSync && run.group >= 0 && participates(l.K, run.desc.Post) {
 		// Yield the SM while waiting for the group: issuing the posts
 		// after the release needs no further compute, so the TB finishes
@@ -358,12 +455,13 @@ func (g *GPU) tbPostPhase(l *Launch, run *tbRun) {
 		g.slotsFree++
 		l.active--
 		g.TBsRun++
-		g.sync.Wait(run.group, PhasePreReduce, l.groupPeers(run.desc),
-			issue(func() { g.finishTB(l, run) }))
+		run.retireAfterPost = false
+		g.sync.Wait(run.group, PhasePreReduce, l.groupPeers(run.desc), run.issuePostsFn)
 		g.trySchedule()
 		return
 	}
-	issue(func() { g.tbRetire(l, run) })()
+	run.retireAfterPost = true
+	run.issuePosts()
 }
 
 // tbRetire frees the SM slot and finishes the TB.
@@ -379,8 +477,13 @@ func (g *GPU) tbRetire(l *Launch, run *tbRun) {
 // completes the launch when the grid drains. isNoop TBs come here directly
 // without ever holding an SM slot.
 func (g *GPU) finishTB(l *Launch, run *tbRun) {
+	// The run's lifecycle ends here: recycle it before the retire
+	// callback and scheduling sweep so the next admitted TB can reuse it.
+	tb := run.tb
+	run.reset()
+	g.runs.Put(run)
 	if l.onTBRetire != nil {
-		l.onTBRetire(run.tb)
+		l.onTBRetire(tb)
 	}
 	l.remaining--
 	if l.remaining == 0 {

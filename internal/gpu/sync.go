@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cais/internal/noc"
+	"cais/internal/pool"
 	"cais/internal/sim"
 )
 
@@ -44,6 +45,9 @@ type pendingWait struct {
 	expected int
 }
 
+// reset clears the wait for pool reuse (caislint: poolreset).
+func (w *pendingWait) reset() { *w = pendingWait{} }
+
 // Synchronizer is the per-GPU module of Fig. 8b: it registers TB groups
 // with the switch's Group Sync Table by exchanging lightweight empty
 // packets (one request, one release, ~0.5 us round trip) and resumes the
@@ -51,6 +55,7 @@ type pendingWait struct {
 type Synchronizer struct {
 	g       *GPU
 	waiting map[syncKey]*pendingWait
+	waits   pool.Pool[pendingWait]
 	// lenient tolerates releases for unknown keys (plane failover can
 	// deliver a stale release after a wait was re-registered and released
 	// by the surviving plane). Off by default: healthy runs keep the
@@ -87,11 +92,10 @@ func (s *Synchronizer) routePlane(group int) int {
 // register sends the Group Sync Table registration packet on a plane.
 func (s *Synchronizer) register(group, phase, expected, plane int) {
 	s.Requests++
-	req := &noc.Packet{
-		ID: s.g.pktID(), Op: noc.OpSyncRequest,
-		Addr: uint64(phase), Group: group,
-		Src: s.g.ID, Dst: -1, Contribs: expected,
-	}
+	req := s.g.pkts.Get()
+	req.ID, req.Op = s.g.pktID(), noc.OpSyncRequest
+	req.Addr, req.Group = uint64(phase), group
+	req.Src, req.Dst, req.Contribs = s.g.ID, -1, expected
 	s.g.up[plane].Send(req)
 }
 
@@ -118,7 +122,9 @@ func (s *Synchronizer) Wait(group, phase, expected int, fn func()) {
 	// Sync traffic routes on the group's deterministic plane so all GPUs
 	// of a group meet at the same Group Sync Table.
 	plane := s.routePlane(group)
-	s.waiting[key] = &pendingWait{fn: fn, plane: plane, expected: expected}
+	w := s.waits.Get()
+	w.fn, w.plane, w.expected = fn, plane, expected
+	s.waiting[key] = w
 	s.register(group, phase, expected, plane)
 }
 
@@ -148,19 +154,25 @@ func (s *Synchronizer) Resync() {
 			continue
 		}
 		s.Reregistrations++
-		key, wait := k, w
+		key := k
 		sim.Retry(s.g.eng, sim.Backoff{Base: sim.Microsecond, Max: 64 * sim.Microsecond, Factor: 2}, func(n int) bool {
+			// Re-fetch on every attempt: waits are pooled, so pointer
+			// identity cannot distinguish "still waiting" from "released
+			// and re-registered" — the registered plane can.
 			cur, ok := s.waiting[key]
-			if !ok || cur != wait {
+			if !ok {
 				return true // released while backing off; nothing to do
 			}
 			plane := s.routePlane(key.group)
+			if cur.plane == plane {
+				return true // already on the live plane
+			}
 			if link := s.g.up[plane]; link == nil || link.Down() {
 				s.Retries++
 				return false
 			}
-			wait.plane = plane
-			s.register(key.group, key.phase, wait.expected, plane)
+			cur.plane = plane
+			s.register(key.group, key.phase, cur.expected, plane)
 			return true
 		}, nil)
 	}
@@ -178,7 +190,10 @@ func (s *Synchronizer) Release(group, phase int) {
 		panic(fmt.Sprintf("gpu%d: release for unknown sync group %d phase %d", s.g.ID, group, phase))
 	}
 	delete(s.waiting, key)
-	w.fn()
+	fn := w.fn
+	w.reset()
+	s.waits.Put(w)
+	fn()
 }
 
 // Pending reports how many sync waits are outstanding.
@@ -195,8 +210,9 @@ type Throttle struct {
 	window   int64   // outstanding-bytes bound; <= 0 disables
 	nextFree sim.Time
 	out      int64
-	queue    []throttleReq
+	queue    pool.Ring[throttleReq]
 	armed    bool
+	pumpFn   func()
 	Deferred int64 // requests that could not issue immediately (stats)
 }
 
@@ -206,23 +222,30 @@ type throttleReq struct {
 }
 
 func newThrottle(eng *sim.Engine, rate float64, window int64) *Throttle {
-	return &Throttle{eng: eng, rate: rate, window: window}
+	t := &Throttle{eng: eng, rate: rate, window: window}
+	t.pumpFn = t.pumpDisarm
+	return t
 }
 
 // Acquire runs fn when pacing and the outstanding window allow; FIFO order
 // is preserved.
 func (t *Throttle) Acquire(bytes int64, fn func()) {
-	wasIdle := len(t.queue) == 0
-	t.queue = append(t.queue, throttleReq{bytes: bytes, fn: fn})
+	wasIdle := t.queue.Len() == 0
+	t.queue.PushBack(throttleReq{bytes: bytes, fn: fn})
 	t.pump()
-	if !wasIdle || len(t.queue) > 0 {
+	if !wasIdle || t.queue.Len() > 0 {
 		t.Deferred++
 	}
 }
 
+func (t *Throttle) pumpDisarm() {
+	t.armed = false
+	t.pump()
+}
+
 func (t *Throttle) pump() {
-	for len(t.queue) > 0 {
-		head := t.queue[0]
+	for t.queue.Len() > 0 {
+		head := t.queue.Head()
 		// Outstanding-window backstop: an idle window always grants so an
 		// oversize request cannot starve.
 		if t.window > 0 && t.out > 0 && t.out+head.bytes > t.window {
@@ -232,14 +255,11 @@ func (t *Throttle) pump() {
 		if t.rate > 0 && t.nextFree > now {
 			if !t.armed {
 				t.armed = true
-				t.eng.At(t.nextFree, func() {
-					t.armed = false
-					t.pump()
-				})
+				t.eng.At(t.nextFree, t.pumpFn)
 			}
 			return
 		}
-		t.queue = t.queue[1:]
+		t.queue.PopFront()
 		t.out += head.bytes
 		if t.rate > 0 {
 			t.nextFree = now + sim.DurationForBytes(head.bytes, t.rate)

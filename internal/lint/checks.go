@@ -211,3 +211,173 @@ func derivesFromTime(p *Package, rc *resolved, e ast.Expr) bool {
 	})
 	return found
 }
+
+// isPoolType reports whether t (or its pointer base) is an instantiation
+// of Pool from a configured free-list package, returning the named type
+// for type-argument inspection.
+func isPoolType(rc *resolved, t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Pool" {
+		return nil, false
+	}
+	return named, rc.poolPkgs[obj.Pkg().Path()]
+}
+
+// hasResetMethod reports whether *T has a niladic reset() method. The
+// lookup runs from T's own package: reset is deliberately unexported — the
+// lifecycle discipline is a package-internal contract.
+func hasResetMethod(elem types.Type) bool {
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(elem), true, named.Obj().Pkg(), "reset")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// checkPoolReset enforces the free-list lifecycle discipline (see
+// internal/pool): every element type handed to a pool.Pool must carry a
+// reset() method, and every Put must be immediately preceded by a reset of
+// the object it returns — pool.Get hands objects out without clearing
+// them, so a skipped or distant reset resurfaces one run's state in
+// another object's lifetime, the classic stale-field heisenbug.
+func checkPoolReset(p *Package, f *ast.File, rc *resolved, rep reporter) {
+	if rc.poolPkgs[p.Path] {
+		return // the pool package itself (generic T has no methods to check)
+	}
+
+	// Rule 1: every Pool[T] type expression needs T to have reset().
+	ast.Inspect(f, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[e]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		named, isPool := isPoolType(rc, tv.Type)
+		if !isPool || named.TypeArgs().Len() != 1 {
+			return true
+		}
+		elem := named.TypeArgs().At(0)
+		if _, isTP := elem.(*types.TypeParam); isTP {
+			return true
+		}
+		if !hasResetMethod(elem) {
+			rep(e.Pos(), CheckPoolReset,
+				"pool.Pool element type %s has no reset() method; pooled objects must reset before returning to the free list",
+				types.TypeString(elem, types.RelativeTo(p.Types)))
+		}
+		return false
+	})
+
+	// Rule 2: every Put(x) statement is immediately preceded by x.reset().
+	// Statement lists live in blocks and in switch/select clause bodies.
+	checked := map[token.Pos]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			call := poolPutStmt(p, rc, stmt)
+			if call == nil {
+				continue
+			}
+			checked[call.Pos()] = true
+			arg := types.ExprString(call.Args[0])
+			if i == 0 || !isResetOf(list[i-1], arg) {
+				rep(call.Pos(), CheckPoolReset,
+					"%s is returned to its pool without %s.reset() as the immediately preceding statement",
+					arg, arg)
+			}
+		}
+		return true
+	})
+
+	// Any pool Put reached outside statement position (defer, go, an
+	// expression context) cannot be paired with a reset statically — flag
+	// it rather than silently trusting it.
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || checked[call.Pos()] || !isPoolPutCall(p, rc, call) {
+			return true
+		}
+		rep(call.Pos(), CheckPoolReset,
+			"pool Put in non-statement position; call reset() then Put as two adjacent statements so the lifecycle is auditable")
+		return true
+	})
+}
+
+// poolPutStmt returns the pool Put call when stmt is a plain `x.Put(y)`
+// expression statement, nil otherwise.
+func poolPutStmt(p *Package, rc *resolved, stmt ast.Stmt) *ast.CallExpr {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || !isPoolPutCall(p, rc, call) {
+		return nil
+	}
+	return call
+}
+
+// isPoolPutCall reports whether call invokes Pool.Put from a configured
+// free-list package.
+func isPoolPutCall(p *Package, rc *resolved, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPool := isPoolType(rc, sig.Recv().Type())
+	return isPool
+}
+
+// isResetOf reports whether stmt is exactly `<arg>.reset()`.
+func isResetOf(stmt ast.Stmt, arg string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "reset" {
+		return false
+	}
+	return types.ExprString(sel.X) == arg
+}

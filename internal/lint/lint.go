@@ -16,6 +16,11 @@
 //   - units:     float→sim.Time conversions outside the audited helpers in
 //     internal/sim, and float64 accumulation of simulated-time values, are
 //     forbidden (truncation and non-associative float sums break digests).
+//   - poolreset: the free-list lifecycle discipline from internal/pool —
+//     every element type handed to a pool.Pool must carry a reset()
+//     method, and every Put(x) must have x.reset() as the immediately
+//     preceding statement, so no object re-enters a free list carrying
+//     state from its previous lifetime.
 //   - goroutine: `go` statements are forbidden in the engine packages
 //     (sim, gpu, nvswitch, noc, machine) — the simulator is
 //     single-threaded by design — and everywhere else outside the
@@ -62,6 +67,7 @@ const (
 	CheckMapOrder  = "map-order"
 	CheckUnits     = "units"
 	CheckGoroutine = "goroutine"
+	CheckPoolReset = "poolreset"
 	CheckDirective = "directive"
 )
 
@@ -71,6 +77,7 @@ var knownChecks = map[string]bool{
 	CheckMapOrder:  true,
 	CheckUnits:     true,
 	CheckGoroutine: true,
+	CheckPoolReset: true,
 }
 
 // Config selects what to analyze and where the policy boundaries sit. The
@@ -100,6 +107,10 @@ type Config struct {
 	// UnitConvertAllow are import-path prefixes housing the audited
 	// float→time conversion helpers. Default: <module>/internal/sim.
 	UnitConvertAllow []string
+	// PoolPackages are import paths providing the generic free-list type
+	// Pool whose lifecycle discipline the poolreset check enforces.
+	// Default: <module>/internal/pool.
+	PoolPackages []string
 }
 
 // resolved is the config with module-path defaults filled in.
@@ -109,6 +120,7 @@ type resolved struct {
 	enginePkgs       map[string]bool
 	concurrencyAllow []string
 	unitAllow        []string
+	poolPkgs         map[string]bool
 }
 
 func (c Config) resolve(module string) *resolved {
@@ -140,6 +152,14 @@ func (c Config) resolve(module string) *resolved {
 	r.unitAllow = c.UnitConvertAllow
 	if len(r.unitAllow) == 0 {
 		r.unitAllow = []string{module + "/internal/sim"}
+	}
+	pp := c.PoolPackages
+	if len(pp) == 0 {
+		pp = []string{module + "/internal/pool"}
+	}
+	r.poolPkgs = map[string]bool{}
+	for _, p := range pp {
+		r.poolPkgs[p] = true
 	}
 	return r
 }
@@ -222,6 +242,7 @@ func lintPackage(fset *token.FileSet, p *Package, rc *resolved) []Diagnostic {
 		checkGoroutine(p, f, rc, rep)
 		checkUnits(p, f, rc, rep)
 		checkMapOrder(p, f, rep)
+		checkPoolReset(p, f, rc, rep)
 		diags = append(diags, dirs.unused(fset)...)
 	}
 	return diags

@@ -136,11 +136,12 @@ func TestExpandPatterns(t *testing.T) {
 		want     []string
 	}{
 		{[]string{"./..."}, []string{
-			"fixture/cmd/tool", "fixture/internal/gpu", "fixture/internal/sim",
-			"fixture/internal/sweep", "fixture/internal/trace", "fixture/internal/util",
+			"fixture/cmd/tool", "fixture/internal/gpu", "fixture/internal/pool",
+			"fixture/internal/sim", "fixture/internal/sweep", "fixture/internal/trace",
+			"fixture/internal/util",
 		}},
 		{[]string{"./internal/..."}, []string{
-			"fixture/internal/gpu", "fixture/internal/sim",
+			"fixture/internal/gpu", "fixture/internal/pool", "fixture/internal/sim",
 			"fixture/internal/sweep", "fixture/internal/trace", "fixture/internal/util",
 		}},
 		{[]string{"./internal/sim", "./cmd/tool"}, []string{

@@ -1,0 +1,84 @@
+package gpu
+
+import "fixture/internal/pool"
+
+// req follows the pool discipline: it carries reset().
+type req struct {
+	id   int
+	data []byte
+}
+
+func (r *req) reset() { *r = req{data: r.data[:0]} }
+
+// norst does not carry reset(), so pooling it is itself a violation.
+type norst struct {
+	id int
+}
+
+type reqPools struct {
+	ok  pool.Pool[req]
+	bad pool.Pool[norst] // lintwant:poolreset
+}
+
+// RecycleClean is the sanctioned shape: reset immediately before Put.
+func RecycleClean(p *reqPools) {
+	r := p.ok.Get()
+	r.id = 7
+	r.reset()
+	p.ok.Put(r)
+}
+
+// RecycleMissing skips the reset entirely.
+func RecycleMissing(p *reqPools) {
+	r := p.ok.Get()
+	r.id = 7
+	p.ok.Put(r) // lintwant:poolreset
+}
+
+// RecycleDistant resets, but not as the immediately preceding statement —
+// the touch in between can dirty the object again.
+func RecycleDistant(p *reqPools) {
+	r := p.ok.Get()
+	r.reset()
+	r.id = 7
+	p.ok.Put(r) // lintwant:poolreset
+}
+
+// RecycleWrongObject resets a different object than the one returned.
+func RecycleWrongObject(p *reqPools, other *req) {
+	r := p.ok.Get()
+	other.reset()
+	p.ok.Put(r) // lintwant:poolreset
+}
+
+// RecycleDeferred hides the Put in a defer, where no adjacent reset can be
+// verified statically.
+func RecycleDeferred(p *reqPools) {
+	r := p.ok.Get()
+	r.reset()
+	defer p.ok.Put(r) // lintwant:poolreset
+}
+
+// RecycleBranch pairs reset and Put inside a nested block and a switch
+// case — both are statement lists the check walks.
+func RecycleBranch(p *reqPools, keep bool) {
+	r := p.ok.Get()
+	if !keep {
+		r.reset()
+		p.ok.Put(r)
+	}
+	switch x := p.ok.Get(); {
+	case keep:
+		x.reset()
+		p.ok.Put(x)
+	default:
+		p.ok.Put(x) // lintwant:poolreset
+	}
+}
+
+// RecycleNoReset exercises the bad pool: norst cannot be reset, so the Put
+// is unfixable without adding the method.
+func RecycleNoReset(p *reqPools) {
+	n := p.bad.Get()
+	p.bad.Put(n) // lintwant:poolreset
+}

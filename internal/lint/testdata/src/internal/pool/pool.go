@@ -1,0 +1,25 @@
+// Package pool is the fixture stand-in for the module's free-list
+// package: the poolreset check keys off the fully-qualified type
+// fixture/internal/pool.Pool.
+package pool
+
+// Pool is a minimal typed free list.
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get pops a free object or allocates one.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put returns an object to the free list.
+func (p *Pool[T]) Put(x *T) {
+	p.free = append(p.free, x)
+}

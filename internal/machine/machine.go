@@ -149,9 +149,14 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 		m.planeAlive[p] = true
 	}
 	m.recomputeSurvivors()
+	// One run-wide packet free list shared by every GPU and switch plane:
+	// packets recycle wherever they are terminally consumed, which is
+	// usually on the other side of the fabric from where they were built.
+	pkts := &noc.PacketPool{}
 	for g := 0; g < hw.NumGPUs; g++ {
 		m.GPUs = append(m.GPUs, gpu.New(eng, g, hw, m.routeAddr, m))
 		m.GPUs[g].SetGroupRouter(m.routeGroup)
+		m.GPUs[g].SetPacketPool(pkts)
 	}
 	capacity := hw.MergeTableBytes
 	if opts.MergeTableBytes > 0 {
@@ -171,6 +176,7 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 			Eviction:      opts.Eviction,
 			Metrics:       m.reg,
 		})
+		sw.SetPacketPool(pkts)
 		m.Switches = append(m.Switches, sw)
 		ups := make([]*noc.Link, hw.NumGPUs)
 		downs := make([]*noc.Link, hw.NumGPUs)

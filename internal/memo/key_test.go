@@ -1,0 +1,157 @@
+package memo
+
+import (
+	"runtime"
+	"testing"
+
+	"cais/internal/config"
+	"cais/internal/faults"
+	"cais/internal/machine"
+	"cais/internal/model"
+	"cais/internal/sim"
+	"cais/internal/strategy"
+	"cais/internal/trace"
+)
+
+func testPoint() (config.Hardware, strategy.Spec, model.SubLayer) {
+	hw := config.DGXH100()
+	spec := strategy.CAIS()
+	sub := model.SubLayers(config.LLaMA7B())[1]
+	return hw, spec, sub
+}
+
+// TestKeyDeterministic pins that key construction is a pure function of the
+// point: equal inputs digest equally, run after run.
+func TestKeyDeterministic(t *testing.T) {
+	hw, spec, sub := testPoint()
+	opts := strategy.Options{MergeTableBytes: 40 << 10}
+	a := KeySubLayer(hw, spec, sub, opts)
+	b := KeySubLayer(hw, spec, sub, opts)
+	if a != b {
+		t.Fatalf("same point digested differently: %#x vs %#x", a, b)
+	}
+	cfg := config.LLaMA7B()
+	la := KeyLayers(hw, spec, cfg, true, 2, opts)
+	lb := KeyLayers(hw, spec, cfg, true, 2, opts)
+	if la != lb {
+		t.Fatalf("same layers point digested differently: %#x vs %#x", la, lb)
+	}
+}
+
+// TestKeyDomainSeparation pins that a sub-layer point and a layers point
+// cannot collide merely by field coincidence: the key builders write
+// distinct domain prefixes.
+func TestKeyDomainSeparation(t *testing.T) {
+	hw, spec, sub := testPoint()
+	a := KeySubLayer(hw, spec, sub, strategy.Options{})
+	b := KeyLayers(hw, spec, config.LLaMA7B(), false, 1, strategy.Options{})
+	if a == b {
+		t.Fatal("sub-layer and layers keys collided")
+	}
+}
+
+// TestKeyDefaultResolution pins the canonicalization contract: a zero
+// option and its explicit default are the same point and must hash
+// identically (a cold run and a defaulted run would simulate identically).
+func TestKeyDefaultResolution(t *testing.T) {
+	hw, spec, sub := testPoint()
+
+	zero := KeySubLayer(hw, spec, sub, strategy.Options{})
+	explicit := KeySubLayer(hw, spec, sub, strategy.Options{StepLimit: strategy.DefaultStepLimit})
+	if zero != explicit {
+		t.Errorf("StepLimit 0 and explicit default hash differently: %#x vs %#x", zero, explicit)
+	}
+
+	nilSched := KeySubLayer(hw, spec, sub, strategy.Options{Faults: nil})
+	emptySched := KeySubLayer(hw, spec, sub, strategy.Options{Faults: &faults.Schedule{}})
+	if nilSched != emptySched {
+		t.Errorf("nil and empty fault schedules hash differently: %#x vs %#x", nilSched, emptySched)
+	}
+
+	// A schedule's name is cosmetic (it never reaches the simulation); two
+	// schedules differing only in name are the same point.
+	f := []faults.Fault{{Kind: faults.Straggler, At: 0, GPU: 0, Plane: faults.All, Factor: 2}}
+	named := KeySubLayer(hw, spec, sub, strategy.Options{Faults: &faults.Schedule{Name: "a", Faults: f}})
+	renamed := KeySubLayer(hw, spec, sub, strategy.Options{Faults: &faults.Schedule{Name: "b", Faults: f}})
+	if named != renamed {
+		t.Errorf("schedule name leaked into the key: %#x vs %#x", named, renamed)
+	}
+}
+
+// TestKeySemanticFieldsDiffer pins that every result-shaping input moves
+// the key: seed, fault schedule contents, option knobs, and spec knobs
+// hiding behind a shared name.
+func TestKeySemanticFieldsDiffer(t *testing.T) {
+	hw, spec, sub := testPoint()
+	base := KeySubLayer(hw, spec, sub, strategy.Options{})
+
+	seeded := hw
+	seeded.Seed = hw.Seed + 1
+	if KeySubLayer(seeded, spec, sub, strategy.Options{}) == base {
+		t.Error("seed change did not move the key")
+	}
+
+	sched := &faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.LinkDegrade, At: 0, Plane: faults.All, GPU: faults.All, Factor: 0.5},
+	}}
+	faulted := KeySubLayer(hw, spec, sub, strategy.Options{Faults: sched})
+	if faulted == base {
+		t.Error("fault schedule did not move the key")
+	}
+	harder := &faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.LinkDegrade, At: 0, Plane: faults.All, GPU: faults.All, Factor: 0.25},
+	}}
+	if KeySubLayer(hw, spec, sub, strategy.Options{Faults: harder}) == faulted {
+		t.Error("fault severity change did not move the key")
+	}
+
+	if KeySubLayer(hw, spec, sub, strategy.Options{UnlimitedMergeTable: true}) == base {
+		t.Error("UnlimitedMergeTable did not move the key")
+	}
+	if KeySubLayer(hw, spec, sub, strategy.Options{MergeTableBytes: 40 << 10}) == base {
+		t.Error("MergeTableBytes did not move the key")
+	}
+
+	// Fig. 13b's ablation specs share one name while differing in
+	// coordination knobs: the full spec is digested, not just the name.
+	tweaked := spec
+	tweaked.Throttled = !spec.Throttled
+	if KeySubLayer(hw, tweaked, sub, strategy.Options{}) == base {
+		t.Error("spec knob change behind an unchanged name did not move the key")
+	}
+}
+
+// TestKeyExcludesWorkerCount pins the exclusion that keeps memoization
+// sound under -parallel: the worker count is not an input to any key
+// builder (their signatures never see it), so the same point digests
+// identically no matter how the sweep is scheduled. The GOMAXPROCS toggle
+// below is the strongest runtime probe available for a by-construction
+// property.
+func TestKeyExcludesWorkerCount(t *testing.T) {
+	hw, spec, sub := testPoint()
+	before := KeySubLayer(hw, spec, sub, strategy.Options{})
+	old := runtime.GOMAXPROCS(1)
+	during := KeySubLayer(hw, spec, sub, strategy.Options{})
+	runtime.GOMAXPROCS(old)
+	if before != during {
+		t.Fatal("key depends on runtime parallelism")
+	}
+}
+
+// TestCacheable pins the bypass rule: any live-callback knob disqualifies
+// a point (the callback observes or mutates machine state that a cache hit
+// never builds).
+func TestCacheable(t *testing.T) {
+	if !Cacheable(strategy.Options{UnlimitedMergeTable: true, StepLimit: 5}) {
+		t.Error("value-only options should be cacheable")
+	}
+	if Cacheable(strategy.Options{Progress: func(sim.Time, uint64) {}}) {
+		t.Error("Progress callback must bypass the cache")
+	}
+	if Cacheable(strategy.Options{Configure: func(*machine.Machine) {}}) {
+		t.Error("Configure callback must bypass the cache")
+	}
+	if Cacheable(strategy.Options{Tracer: trace.New()}) {
+		t.Error("Tracer must bypass the cache")
+	}
+}

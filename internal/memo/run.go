@@ -1,0 +1,51 @@
+package memo
+
+import (
+	"cais/internal/config"
+	"cais/internal/model"
+	"cais/internal/strategy"
+)
+
+// entryOf flattens a strategy.Result into the cacheable value type,
+// capturing the direction-traffic decomposition before the machine is
+// dropped.
+func entryOf(res strategy.Result) Entry {
+	e := Entry{
+		Strategy:  res.Strategy,
+		Elapsed:   res.Elapsed,
+		Stats:     res.Stats,
+		AvgUtil:   res.AvgUtil,
+		MergeHWM:  res.MergeHWM,
+		Telemetry: res.Telemetry,
+	}
+	if res.Machine != nil {
+		e.UpBytes, e.DownBytes = res.Machine.DirectionTraffic()
+	}
+	return e
+}
+
+// RunSubLayer is the memoizing wrapper around strategy.RunSubLayer: a nil
+// cache or non-cacheable options (live callbacks) always simulate;
+// otherwise the point simulates at most once per cache lifetime.
+func RunSubLayer(c *Cache, hw config.Hardware, spec strategy.Spec, sub model.SubLayer, opts strategy.Options) (Entry, error) {
+	run := func() (Entry, error) {
+		res, err := strategy.RunSubLayer(hw, spec, sub, opts)
+		return entryOf(res), err
+	}
+	if c == nil || !Cacheable(opts) {
+		return run()
+	}
+	return c.Do(KeySubLayer(hw, spec, sub, opts), run)
+}
+
+// RunLayers is the memoizing wrapper around strategy.RunLayersOpts.
+func RunLayers(c *Cache, hw config.Hardware, spec strategy.Spec, cfg config.Model, training bool, layers int, opts strategy.Options) (Entry, error) {
+	run := func() (Entry, error) {
+		res, err := strategy.RunLayersOpts(hw, spec, cfg, training, layers, opts)
+		return entryOf(res), err
+	}
+	if c == nil || !Cacheable(opts) {
+		return run()
+	}
+	return c.Do(KeyLayers(hw, spec, cfg, training, layers, opts), run)
+}

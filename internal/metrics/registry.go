@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Registry is the central metric registry: every subsystem registers its
@@ -111,6 +112,27 @@ func (c *Counter) Value() int64 { return c.v }
 func (c *Counter) kind() string { return "counter" }
 func (c *Counter) snap(name string) Metric {
 	return Metric{Name: name, Kind: "counter", Value: float64(c.v)}
+}
+
+// AtomicCounter is a goroutine-safe monotonic counter for the few
+// measurement points that live outside the single-threaded engine — today
+// the sweep-level memo cache's hit/miss accounting, which parallel workers
+// update concurrently. Engine-side code should use Counter (cheaper, and
+// the engine is single-threaded by construction).
+type AtomicCounter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *AtomicCounter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *AtomicCounter) Add(n int64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *AtomicCounter) Value() int64 { return c.v.Load() }
+
+func (c *AtomicCounter) kind() string { return "counter" }
+func (c *AtomicCounter) snap(name string) Metric {
+	return Metric{Name: name, Kind: "counter", Value: float64(c.Value())}
 }
 
 // Gauge is a settable instantaneous value.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cais/internal/noc"
+	"cais/internal/pool"
 	"cais/internal/sim"
 	"cais/internal/trace"
 )
@@ -52,6 +53,31 @@ type session struct {
 	tag      interface{}
 	onDone   []func() // reduction contributors' completions
 	traceID  uint64   // async-span id while tracing (0 = untraced)
+
+	// m and timeoutFn are the entry's pooled identity: the owning unit and
+	// its cached forward-progress closure, installed once at first pool Get
+	// and preserved across reset so re-arming never allocates.
+	m         *MergeUnit
+	timeoutFn func()
+}
+
+// reset clears the entry for pool reuse (caislint: poolreset), keeping the
+// waiters/onDone backing arrays and the cached timeout closure.
+func (s *session) reset() {
+	for i := range s.waiters {
+		s.waiters[i] = nil
+	}
+	s.waiters = s.waiters[:0]
+	for i := range s.onDone {
+		s.onDone[i] = nil
+	}
+	s.onDone = s.onDone[:0]
+	s.addr, s.state, s.size, s.count, s.expected = 0, LoadWait, 0, 0, 0
+	s.bcast, s.pinned, s.flush = false, false, false
+	s.group = 0
+	s.first, s.lru = 0, 0
+	s.tag = nil
+	s.traceID = 0
 }
 
 // ArrivalHook, when set, observes every red.cais arrival (diagnostics).
@@ -70,6 +96,9 @@ type mergeRespTag struct {
 	addr uint64
 	orig interface{}
 }
+
+// reset clears the tag for pool reuse (caislint: poolreset).
+func (t *mergeRespTag) reset() { *t = mergeRespTag{} }
 
 // EvictionPolicy selects the victim-selection rule under capacity
 // pressure. The paper uses LRU; the alternatives exist for the design
@@ -120,6 +149,24 @@ type MergeUnit struct {
 	disabled      bool // fault injection: force the unmerged bypass path
 	tr            *trace.Tracer
 	pid           int32
+
+	// pkts is the run-wide packet free list (nil degrades to allocation);
+	// the session/tag pools are private to this port.
+	pkts      *noc.PacketPool
+	sessPool  pool.Pool[session]
+	respTags  pool.Pool[mergeRespTag]
+	plainTags pool.Pool[plainLoadTag]
+}
+
+// getSession hands out a pooled merging-table entry, installing the owning
+// unit and the cached timeout closure on first use.
+func (m *MergeUnit) getSession() *session {
+	s := m.sessPool.Get()
+	if s.m == nil {
+		s.m = m
+		s.timeoutFn = s.timeoutCheck
+	}
+	return s
 }
 
 func newMergeUnit(eng *sim.Engine, name string, capacity int64, timeout sim.Time, stats *Stats) *MergeUnit {
@@ -208,6 +255,7 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 	if m.disabled {
 		m.stats.bypassLoads.Inc()
 		m.forwardPlainLoad(p)
+		m.pkts.Put(p) // original absorbed; the fetch carries its context
 		return
 	}
 	if s, ok := m.sessions[p.Addr]; ok && s.state != Reduction {
@@ -224,6 +272,7 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 			// Serve immediately from cached data.
 			m.stats.mergedLoads.Inc()
 			m.respond(s, p)
+			m.pkts.Put(p) // served from cache; request absorbed
 			if s.count >= s.expected {
 				m.release(s)
 			}
@@ -239,21 +288,23 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 			m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "load bypass", now)
 		}
 		m.forwardPlainLoad(p)
+		m.pkts.Put(p)
 		return
 	}
-	s := &session{
-		addr: p.Addr, state: LoadWait, size: loadMetaBytes, count: 1,
-		expected: p.Expected(), group: p.Group, first: now, lru: now,
-		waiters: []*noc.Packet{p}, tag: p.Tag,
-	}
+	s := m.getSession()
+	s.addr, s.state, s.size, s.count = p.Addr, LoadWait, loadMetaBytes, 1
+	s.expected, s.group, s.first, s.lru = p.Expected(), p.Group, now, now
+	s.waiters = append(s.waiters, p)
+	s.tag = p.Tag
 	m.insert(s)
 	m.stats.loadFetches.Inc()
 	// Forward the fetch to the home GPU through the standard routing path.
-	fetch := &noc.Packet{
-		ID: m.id(), Op: noc.OpLoad, Addr: p.Addr, Home: p.Home,
-		Src: p.Src, Dst: p.Home, Size: p.Size, Group: p.Group,
-		Tag: &mergeRespTag{unit: m, addr: p.Addr, orig: p.Tag},
-	}
+	tag := m.respTags.Get()
+	tag.unit, tag.addr, tag.orig = m, p.Addr, p.Tag
+	fetch := m.pkts.Get()
+	fetch.ID, fetch.Op, fetch.Addr, fetch.Home = m.id(), noc.OpLoad, p.Addr, p.Home
+	fetch.Src, fetch.Dst, fetch.Size, fetch.Group = p.Src, p.Home, p.Size, p.Group
+	fetch.Tag = tag
 	m.sendDown(p.Home, fetch)
 	m.armTimeout(s)
 }
@@ -263,21 +314,27 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 // subsequent hits from the cache.
 func (m *MergeUnit) HandleResponse(p *noc.Packet, tag *mergeRespTag) {
 	s, ok := m.sessions[tag.addr]
+	orig := tag.orig
+	tag.reset()
+	m.respTags.Put(tag)
 	if !ok {
 		// Session was force-released (timeout after flush); deliver to the
-		// original requester only.
+		// original requester only, with its completion context restored.
+		p.Tag = orig
 		m.sendDown(p.Dst, p)
 		return
 	}
 	s.state = LoadReady
 	s.lru = m.eng.Now()
-	waiters := s.waiters
-	s.waiters = nil
-	for _, w := range waiters {
+	for i, w := range s.waiters {
 		m.respond(s, w)
+		m.pkts.Put(w)
+		s.waiters[i] = nil
 	}
+	s.waiters = s.waiters[:0]
 	if s.count >= s.expected || s.flush {
 		m.release(s)
+		m.pkts.Put(p)
 		return
 	}
 	// Cache the arrived data for later requesters: grow the entry to the
@@ -293,19 +350,20 @@ func (m *MergeUnit) HandleResponse(p *noc.Packet, tag *mergeRespTag) {
 		if !ok {
 			m.stats.evictions.Inc()
 			m.release(s)
+			m.pkts.Put(p)
 			return
 		}
 		s.size += grow
 	}
+	m.pkts.Put(p) // response data cached; packet absorbed
 }
 
 // respond sends cached data down to one requester.
 func (m *MergeUnit) respond(s *session, req *noc.Packet) {
-	resp := &noc.Packet{
-		ID: m.id(), Op: noc.OpLoadResp, Addr: s.addr, Home: m.gpu,
-		Src: m.gpu, Dst: req.Src, Size: req.Size, Group: req.Group,
-		OnDone: req.OnDone, Tag: req.Tag,
-	}
+	resp := m.pkts.Get()
+	resp.ID, resp.Op, resp.Addr, resp.Home = m.id(), noc.OpLoadResp, s.addr, m.gpu
+	resp.Src, resp.Dst, resp.Size, resp.Group = m.gpu, req.Src, req.Size, req.Group
+	resp.OnDone, resp.Tag = req.OnDone, req.Tag
 	m.sendDown(req.Src, resp)
 }
 
@@ -313,21 +371,26 @@ func (m *MergeUnit) respond(s *session, req *noc.Packet) {
 // the response routes straight back (no caching, no table entry). Per
 // Sec. III-A-4 this path avoids thrashing when the table is saturated.
 func (m *MergeUnit) forwardPlainLoad(p *noc.Packet) {
-	fetch := &noc.Packet{
-		ID: m.id(), Op: noc.OpLoad, Addr: p.Addr, Home: p.Home,
-		Src: p.Src, Dst: p.Home, Size: p.Size, Group: p.Group,
-		Tag: &plainLoadTag{requester: p.Src, onDone: p.OnDone, orig: p.Tag},
-	}
+	tag := m.plainTags.Get()
+	tag.unit, tag.requester, tag.onDone, tag.orig = m, p.Src, p.OnDone, p.Tag
+	fetch := m.pkts.Get()
+	fetch.ID, fetch.Op, fetch.Addr, fetch.Home = m.id(), noc.OpLoad, p.Addr, p.Home
+	fetch.Src, fetch.Dst, fetch.Size, fetch.Group = p.Src, p.Home, p.Size, p.Group
+	fetch.Tag = tag
 	m.sendDown(p.Home, fetch)
 }
 
 // plainLoadTag marks a bypassed load so the home GPU's response routes to
 // the requester without touching the merge unit.
 type plainLoadTag struct {
+	unit      *MergeUnit
 	requester int
 	onDone    func()
 	orig      interface{}
 }
+
+// reset clears the tag for pool reuse (caislint: poolreset).
+func (t *plainLoadTag) reset() { *t = plainLoadTag{} }
 
 // HandleReduction implements Micro-Function 2 (reduction request merging).
 func (m *MergeUnit) HandleReduction(p *noc.Packet) {
@@ -345,19 +408,20 @@ func (m *MergeUnit) HandleReduction(p *noc.Packet) {
 			// every replica, which count contributions to completion —
 			// the full downlink cost of losing the merge unit.
 			for g := 0; g < m.numGPUs; g++ {
-				out := &noc.Packet{
-					ID: m.id(), Op: noc.OpRedCAIS, Addr: p.Addr, Home: m.gpu,
-					Src: -1, Dst: g, Size: p.Size, Group: p.Group,
-					Contribs: 1, Tag: p.Tag,
-				}
+				out := m.pkts.Get()
+				out.ID, out.Op, out.Addr, out.Home = m.id(), noc.OpRedCAIS, p.Addr, m.gpu
+				out.Src, out.Dst, out.Size, out.Group = -1, g, p.Size, p.Group
+				out.Contribs, out.Tag = 1, p.Tag
 				if g == m.gpu {
 					out.OnDone = p.OnDone
 				}
 				m.sendDown(g, out)
 			}
+			m.pkts.Put(p)
 			return
 		}
 		m.forwardPartial(p.Addr, p.Size, p.Group, 1, p.Tag, p.OnDone)
+		m.pkts.Put(p)
 		return
 	}
 	s, ok := m.sessions[p.Addr]
@@ -376,13 +440,13 @@ func (m *MergeUnit) HandleReduction(p *noc.Packet) {
 				m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "red bypass", now)
 			}
 			m.forwardPartial(p.Addr, p.Size, p.Group, 1, p.Tag, p.OnDone)
+			m.pkts.Put(p)
 			return
 		}
-		s = &session{
-			addr: p.Addr, state: Reduction, size: p.Size,
-			expected: p.Expected(), group: p.Group, first: now, lru: now,
-			bcast: p.Dst < 0, tag: p.Tag,
-		}
+		s = m.getSession()
+		s.addr, s.state, s.size = p.Addr, Reduction, p.Size
+		s.expected, s.group, s.first, s.lru = p.Expected(), p.Group, now, now
+		s.bcast, s.tag = p.Dst < 0, p.Tag
 		m.insert(s)
 		m.armTimeout(s)
 	}
@@ -391,6 +455,7 @@ func (m *MergeUnit) HandleReduction(p *noc.Packet) {
 	if p.OnDone != nil {
 		s.onDone = append(s.onDone, p.OnDone)
 	}
+	m.pkts.Put(p) // contribution absorbed into the merging table
 	m.stats.mergedReds.Inc()
 	if s.count >= s.expected {
 		m.stats.completedReds.Inc()
@@ -404,11 +469,10 @@ func (m *MergeUnit) HandleReduction(p *noc.Packet) {
 func (m *MergeUnit) finishReduction(s *session) {
 	if s.bcast {
 		for g := 0; g < m.numGPUs; g++ {
-			out := &noc.Packet{
-				ID: m.id(), Op: noc.OpRedCAIS, Addr: s.addr, Home: m.gpu,
-				Src: -1, Dst: g, Size: s.size, Group: s.group,
-				Contribs: s.count, Tag: s.tag,
-			}
+			out := m.pkts.Get()
+			out.ID, out.Op, out.Addr, out.Home = m.id(), noc.OpRedCAIS, s.addr, m.gpu
+			out.Src, out.Dst, out.Size, out.Group = -1, g, s.size, s.group
+			out.Contribs, out.Tag = s.count, s.tag
 			m.sendDown(g, out)
 		}
 	} else {
@@ -417,7 +481,6 @@ func (m *MergeUnit) finishReduction(s *session) {
 	for _, done := range s.onDone {
 		m.eng.After(0, done)
 	}
-	s.onDone = nil
 	m.release(s)
 }
 
@@ -425,11 +488,10 @@ func (m *MergeUnit) finishReduction(s *session) {
 // to the home GPU; Contribs tells the home how many contributions the
 // payload folds in so it can detect completion.
 func (m *MergeUnit) forwardPartial(addr uint64, size int64, group, contribs int, tag interface{}, onDone func()) {
-	out := &noc.Packet{
-		ID: m.id(), Op: noc.OpRedCAIS, Addr: addr, Home: m.gpu,
-		Src: -1, Dst: m.gpu, Size: size, Group: group,
-		Contribs: contribs, Tag: tag, OnDone: onDone,
-	}
+	out := m.pkts.Get()
+	out.ID, out.Op, out.Addr, out.Home = m.id(), noc.OpRedCAIS, addr, m.gpu
+	out.Src, out.Dst, out.Size, out.Group = -1, m.gpu, size, group
+	out.Contribs, out.Tag, out.OnDone = contribs, tag, onDone
 	m.sendDown(m.gpu, out)
 }
 
@@ -518,14 +580,15 @@ func (m *MergeUnit) evict(s *session) {
 		for _, done := range s.onDone {
 			m.eng.After(0, done)
 		}
-		s.onDone = nil
 	}
 	m.release(s)
 }
 
-// release frees an entry's table space.
+// release frees an entry's table space and recycles the entry. The guard
+// compares pointers, not just presence: sessions are pooled, so a stale
+// release must not tear down a successor entry that reuses the address.
 func (m *MergeUnit) release(s *session) {
-	if _, ok := m.sessions[s.addr]; !ok {
+	if cur, ok := m.sessions[s.addr]; !ok || cur != s {
 		return
 	}
 	m.recordSkew(s)
@@ -541,6 +604,8 @@ func (m *MergeUnit) release(s *session) {
 	if m.used < 0 {
 		panic("nvswitch: merge table occupancy underflow")
 	}
+	s.reset()
+	m.sessPool.Put(s)
 }
 
 func (m *MergeUnit) recordSkew(s *session) {
@@ -575,32 +640,42 @@ func (m *MergeUnit) insert(s *session) {
 }
 
 // armTimeout schedules the forward-progress check for a session. Each
-// access extends the deadline; the event re-arms itself until the session
-// is released or goes stale.
+// access extends the deadline; the event re-arms itself (via the session's
+// cached closure — no per-arm allocation) until the session is released or
+// goes stale.
 func (m *MergeUnit) armTimeout(s *session) {
 	if m.timeout <= 0 {
 		return
 	}
-	deadline := s.lru + m.timeout
-	m.eng.At(deadline, func() {
-		cur, ok := m.sessions[s.addr]
-		if !ok || cur != s {
-			return
-		}
-		if cur.lru+m.timeout > m.eng.Now() {
-			// Touched since; re-arm at the extended deadline.
-			m.armTimeout(cur)
-			return
-		}
-		m.stats.timeoutEvictions.Inc()
-		if m.tr.Enabled() {
-			m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "timeout", m.eng.Now())
-		}
-		if cur.state == LoadWait {
-			// Defer until the response arrives (Sec. III-A-4).
-			cur.flush = true
-			return
-		}
-		m.evict(cur)
-	})
+	m.eng.At(s.lru+m.timeout, s.timeoutFn)
+}
+
+// timeoutCheck is the body of the forward-progress event. Sessions are
+// pooled, so a fired check distinguishes "my session" from "a successor
+// reusing my entry object" by the sessions-map lookup: if the recycled
+// entry now serves a different address the lookup misses (or finds a
+// different pointer) and the stale event dies; if it serves the same
+// address again, the lru guard makes the check equivalent to a freshly
+// armed one.
+func (s *session) timeoutCheck() {
+	m := s.m
+	cur, ok := m.sessions[s.addr]
+	if !ok || cur != s {
+		return
+	}
+	if cur.lru+m.timeout > m.eng.Now() {
+		// Touched since; re-arm at the extended deadline.
+		m.armTimeout(cur)
+		return
+	}
+	m.stats.timeoutEvictions.Inc()
+	if m.tr.Enabled() {
+		m.tr.Instant(m.pid, int32(m.gpu), "nvswitch.merge", "timeout", m.eng.Now())
+	}
+	if cur.state == LoadWait {
+		// Defer until the response arrives (Sec. III-A-4).
+		cur.flush = true
+		return
+	}
+	m.evict(cur)
 }

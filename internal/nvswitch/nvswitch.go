@@ -12,6 +12,7 @@ import (
 
 	"cais/internal/metrics"
 	"cais/internal/noc"
+	"cais/internal/pool"
 	"cais/internal/sim"
 	"cais/internal/trace"
 )
@@ -71,6 +72,19 @@ type Switch struct {
 	tr     *trace.Tracer
 	pid    int32
 	nextID uint64
+
+	// pkts is the run-wide packet free list (nil degrades to plain
+	// allocation); the session pools are private to this plane.
+	pkts         *noc.PacketPool
+	redSessions  pool.Pool[nvlsRedSession]
+	pullSessions pool.Pool[nvlsPullSession]
+	syncEntries  pool.Pool[syncEntry]
+
+	// pending pairs packets awaiting the switch-internal latency with the
+	// single cached processNextFn closure: the latency is constant, so
+	// processing is FIFO and the ring head always matches the next event.
+	pending       pool.Ring[*noc.Packet]
+	processNextFn func()
 }
 
 type pullKey struct {
@@ -102,17 +116,45 @@ type nvlsRedSession struct {
 	lru      sim.Time // last contribution (timeout base in fault-tolerant mode)
 }
 
+// reset clears the session for pool reuse (caislint: poolreset), keeping
+// the onDone backing array so steady-state sessions stop allocating.
+func (rs *nvlsRedSession) reset() {
+	for i := range rs.onDone {
+		rs.onDone[i] = nil
+	}
+	rs.onDone = rs.onDone[:0]
+	rs.size, rs.count, rs.expected = 0, 0, 0
+	rs.bcast = false
+	rs.home, rs.group = 0, 0
+	rs.tag = nil
+	rs.lru = 0
+}
+
 // nvlsPullSession is one in-flight multimem.ld_reduce: reads fanned to all
-// GPU replicas, reduced as responses return.
+// GPU replicas, reduced as responses return. fanTag is embedded so all N
+// fan packets of the session share one tag instead of allocating N.
 type nvlsPullSession struct {
 	pending int
 	resp    *noc.Packet
+	fanTag  pullTag
 }
+
+// reset clears the session for pool reuse (caislint: poolreset).
+func (ps *nvlsPullSession) reset() { *ps = nvlsPullSession{} }
 
 type syncEntry struct {
 	count    int
 	expected int
-	seen     map[int]bool
+	seen     []bool // indexed by GPU; backing array reused across entries
+}
+
+// reset clears the entry for pool reuse (caislint: poolreset), keeping the
+// seen backing array.
+func (e *syncEntry) reset() {
+	for i := range e.seen {
+		e.seen[i] = false
+	}
+	e.count, e.expected = 0, 0
 }
 
 // New creates a switch plane for cfg.
@@ -136,6 +178,7 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		tr:       trace.FromEngine(eng),
 		pid:      trace.SwitchPid(cfg.Plane),
 	}
+	s.processNextFn = s.processNext
 	for g := 0; g < cfg.NumGPUs; g++ {
 		s.port[g] = newMergeUnit(eng, fmt.Sprintf("sw%d.port%d", cfg.Plane, g), cfg.MergeCapacity, cfg.MergeTimeout, s.stats)
 		s.port[g].sendDown = s.sendDown
@@ -152,6 +195,16 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 // ConnectDown attaches the switch->GPU link for one port. Must be called
 // for every GPU before traffic flows.
 func (s *Switch) ConnectDown(gpu int, link *noc.Link) { s.down[gpu] = link }
+
+// SetPacketPool wires the run-wide packet free list into the plane and its
+// merge units (assembly layer). Nil — the default for hand-wired tests —
+// falls back to plain allocation.
+func (s *Switch) SetPacketPool(pp *noc.PacketPool) {
+	s.pkts = pp
+	for _, port := range s.port {
+		port.pkts = pp
+	}
+}
 
 // Stats returns the plane's statistics collector.
 func (s *Switch) Stats() *Stats { return s.stats }
@@ -211,7 +264,12 @@ func (s *Switch) Repair() {
 // Receive implements noc.Endpoint for uplink traffic: the packet is
 // processed after the switch-internal latency.
 func (s *Switch) Receive(p *noc.Packet) {
-	s.eng.After(s.cfg.SwitchLatency, func() { s.process(p) })
+	s.pending.PushBack(p)
+	s.eng.After(s.cfg.SwitchLatency, s.processNextFn)
+}
+
+func (s *Switch) processNext() {
+	s.process(s.pending.PopFront())
 }
 
 func (s *Switch) sendDown(gpu int, p *noc.Packet) {
@@ -267,7 +325,12 @@ func (s *Switch) handleLoadResp(p *noc.Packet) {
 		// context and deliver directly.
 		p.OnDone = tag.onDone
 		p.Tag = tag.orig
-		s.sendDown(tag.requester, p)
+		requester, unit := tag.requester, tag.unit
+		if unit != nil {
+			tag.reset()
+			unit.plainTags.Put(tag)
+		}
+		s.sendDown(requester, p)
 	default:
 		s.sendDown(p.Dst, p)
 	}
@@ -281,16 +344,18 @@ func (s *Switch) handleMulticastStore(p *noc.Packet) {
 		if g == p.Src {
 			continue
 		}
-		copyP := *p
+		copyP := s.pkts.Get()
+		*copyP = *p
 		copyP.ID = s.id()
 		copyP.Dst = g
 		copyP.OnDone = nil // completion is sender-side
-		s.sendDown(g, &copyP)
+		s.sendDown(g, copyP)
 	}
 	// Push stores complete at the sender as soon as the switch accepts
-	// them (posted semantics).
-	if p.OnDone != nil {
-		done := p.OnDone
+	// them (posted semantics). The original is absorbed here.
+	done := p.OnDone
+	s.pkts.Put(p)
+	if done != nil {
 		s.eng.After(0, done)
 	}
 }
@@ -303,21 +368,23 @@ func (s *Switch) handlePullReduce(p *noc.Packet) {
 	if _, ok := s.nvlsPull[key]; ok {
 		panic(fmt.Sprintf("nvswitch: duplicate ld_reduce session %+v", key))
 	}
-	resp := &noc.Packet{
-		ID: s.id(), Op: noc.OpLoadResp, Addr: p.Addr, Home: p.Home,
-		Src: p.Home, Dst: p.Src, Size: p.Size, Group: p.Group,
-		OnDone: p.OnDone, Tag: p.Tag, Contribs: s.cfg.NumGPUs,
-	}
-	s.nvlsPull[key] = &nvlsPullSession{pending: s.cfg.NumGPUs, resp: resp}
+	resp := s.pkts.Get()
+	resp.ID, resp.Op, resp.Addr, resp.Home = s.id(), noc.OpLoadResp, p.Addr, p.Home
+	resp.Src, resp.Dst, resp.Size, resp.Group = p.Home, p.Src, p.Size, p.Group
+	resp.OnDone, resp.Tag, resp.Contribs = p.OnDone, p.Tag, s.cfg.NumGPUs
+	sess := s.pullSessions.Get()
+	sess.pending, sess.resp = s.cfg.NumGPUs, resp
+	sess.fanTag = pullTag{sw: s, key: key}
+	s.nvlsPull[key] = sess
 	s.stats.pullReduces.Inc()
 	for g := 0; g < s.cfg.NumGPUs; g++ {
-		fan := &noc.Packet{
-			ID: s.id(), Op: noc.OpReadFan, Addr: p.Addr, Home: g,
-			Src: p.Src, Dst: g, Size: p.Size, Group: p.Group,
-			Tag: &pullTag{sw: s, key: key},
-		}
+		fan := s.pkts.Get()
+		fan.ID, fan.Op, fan.Addr, fan.Home = s.id(), noc.OpReadFan, p.Addr, g
+		fan.Src, fan.Dst, fan.Size, fan.Group = p.Src, g, p.Size, p.Group
+		fan.Tag = &sess.fanTag
 		s.sendDown(g, fan)
 	}
+	s.pkts.Put(p)
 }
 
 func (s *Switch) handlePullResponse(p *noc.Packet, key pullKey) {
@@ -325,10 +392,14 @@ func (s *Switch) handlePullResponse(p *noc.Packet, key pullKey) {
 	if !ok {
 		panic(fmt.Sprintf("nvswitch: pull response without session %+v", key))
 	}
+	s.pkts.Put(p)
 	sess.pending--
 	if sess.pending == 0 {
 		delete(s.nvlsPull, key)
-		s.sendDown(sess.resp.Dst, sess.resp)
+		resp := sess.resp
+		sess.reset()
+		s.pullSessions.Put(sess)
+		s.sendDown(resp.Dst, resp)
 	}
 }
 
@@ -342,10 +413,9 @@ func (s *Switch) handlePushReduce(p *noc.Packet) {
 		if expected <= 0 {
 			expected = s.cfg.NumGPUs
 		}
-		sess = &nvlsRedSession{
-			size: p.Size, expected: expected, home: p.Home,
-			bcast: p.Dst < 0, group: p.Group, tag: p.Tag,
-		}
+		sess = s.redSessions.Get()
+		sess.size, sess.expected, sess.home = p.Size, expected, p.Home
+		sess.bcast, sess.group, sess.tag = p.Dst < 0, p.Group, p.Tag
 		s.nvlsRed[p.Addr] = sess
 		if s.faultTolerant {
 			sess.lru = s.eng.Now()
@@ -357,11 +427,13 @@ func (s *Switch) handlePushReduce(p *noc.Packet) {
 	if p.OnDone != nil {
 		sess.onDone = append(sess.onDone, p.OnDone)
 	}
+	addr := p.Addr
+	s.pkts.Put(p) // contribution absorbed
 	if sess.count < sess.expected {
 		return
 	}
 	s.stats.pushReduces.Inc()
-	s.completeRed(p.Addr, sess)
+	s.completeRed(addr, sess)
 }
 
 // completeRed writes out an NVLS push session's (possibly partial)
@@ -371,25 +443,26 @@ func (s *Switch) handlePushReduce(p *noc.Packet) {
 // completion at every receiver.
 func (s *Switch) completeRed(addr uint64, sess *nvlsRedSession) {
 	delete(s.nvlsRed, addr)
-	targets := []int{sess.home}
 	if sess.bcast {
-		targets = targets[:0]
 		for g := 0; g < s.cfg.NumGPUs; g++ {
-			targets = append(targets, g)
+			s.sendRedResult(addr, sess, g)
 		}
-	}
-	for _, g := range targets {
-		out := &noc.Packet{
-			ID: s.id(), Op: noc.OpMultimemRed, Addr: addr, Home: sess.home,
-			Src: -1, Dst: g, Size: sess.size, Group: sess.group,
-			Contribs: sess.count, Tag: sess.tag,
-		}
-		s.sendDown(g, out)
+	} else {
+		s.sendRedResult(addr, sess, sess.home)
 	}
 	for _, done := range sess.onDone {
 		s.eng.After(0, done)
 	}
-	sess.onDone = nil
+	sess.reset()
+	s.redSessions.Put(sess)
+}
+
+func (s *Switch) sendRedResult(addr uint64, sess *nvlsRedSession, g int) {
+	out := s.pkts.Get()
+	out.ID, out.Op, out.Addr, out.Home = s.id(), noc.OpMultimemRed, addr, sess.home
+	out.Src, out.Dst, out.Size, out.Group = -1, g, sess.size, sess.group
+	out.Contribs, out.Tag = sess.count, sess.tag
+	s.sendDown(g, out)
 }
 
 // armRedTimeout gives an NVLS push session a forward-progress deadline
@@ -423,6 +496,11 @@ func (s *Switch) armRedTimeout(addr uint64, sess *nvlsRedSession) {
 // registered a given group/phase key, release packets broadcast to every
 // GPU's synchronizer.
 func (s *Switch) handleSync(p *noc.Packet) {
+	s.syncRegister(p)
+	s.pkts.Put(p) // registration request absorbed
+}
+
+func (s *Switch) syncRegister(p *noc.Packet) {
 	key := syncKey(p.Group, p.Addr)
 	e, ok := s.sync[key]
 	if !ok {
@@ -430,7 +508,13 @@ func (s *Switch) handleSync(p *noc.Packet) {
 		if expected <= 0 {
 			expected = s.cfg.NumGPUs
 		}
-		e = &syncEntry{expected: expected, seen: make(map[int]bool)}
+		e = s.syncEntries.Get()
+		if cap(e.seen) < s.cfg.NumGPUs {
+			e.seen = make([]bool, s.cfg.NumGPUs)
+		} else {
+			e.seen = e.seen[:s.cfg.NumGPUs]
+		}
+		e.expected = expected
 		s.sync[key] = e
 	}
 	if e.seen[p.Src] {
@@ -457,12 +541,13 @@ func (s *Switch) handleSync(p *noc.Packet) {
 		if !e.seen[g] {
 			continue
 		}
-		rel := &noc.Packet{
-			ID: s.id(), Op: noc.OpSyncRelease, Addr: p.Addr,
-			Src: -1, Dst: g, Group: p.Group,
-		}
+		rel := s.pkts.Get()
+		rel.ID, rel.Op, rel.Addr = s.id(), noc.OpSyncRelease, p.Addr
+		rel.Src, rel.Dst, rel.Group = -1, g, p.Group
 		s.sendDown(g, rel)
 	}
+	e.reset()
+	s.syncEntries.Put(e)
 }
 
 type syncTableKey struct {

@@ -1,0 +1,71 @@
+package pool
+
+// Ring is a reusable circular queue (deque). Like Pool it exists to kill
+// steady-state allocation: the backing array grows to the burst high-water
+// mark once and is recycled forever, unlike the append/reslice queue idiom
+// which reallocates every burst and strands capacity behind the advancing
+// slice head. Capacity is a power of two so index wrap is a mask.
+//
+// PopFront zeroes the vacated slot, so a Ring of pointers never pins
+// dequeued objects for the GC (or for an object pool).
+type Ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len reports the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// PushBack appends v at the tail.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// PushFront prepends v at the head (priority re-queueing).
+func (r *Ring[T]) PushFront(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1) & (len(r.buf) - 1)
+	r.buf[r.head] = v
+	r.n++
+}
+
+// Head returns the head element without removing it. It panics when empty.
+func (r *Ring[T]) Head() T {
+	if r.n == 0 {
+		panic("pool: Head on empty Ring")
+	}
+	return r.buf[r.head]
+}
+
+// PopFront removes and returns the head element. It panics when empty —
+// callers check Len, mirroring slice-index discipline.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("pool: PopFront on empty Ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+func (r *Ring[T]) grow() {
+	c := len(r.buf) * 2
+	if c < 16 {
+		c = 16
+	}
+	nb := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}

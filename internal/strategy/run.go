@@ -492,11 +492,16 @@ func execute(m *machine.Machine, p *plan) (sim.Time, error) {
 	return doneAt, nil
 }
 
+// DefaultStepLimit is the runaway-simulation guard applied when
+// Options.StepLimit is zero. Exported so the memo layer can resolve the
+// default before hashing (zero and explicit default must key identically).
+const DefaultStepLimit uint64 = 2_000_000_000
+
 func newMachine(hw config.Hardware, spec Spec, opts Options) *machine.Machine {
 	eng := sim.NewEngine()
 	limit := opts.StepLimit
 	if limit == 0 {
-		limit = 2_000_000_000
+		limit = DefaultStepLimit
 	}
 	eng.SetStepLimit(limit)
 	if opts.Progress != nil && opts.ProgressEvery > 0 {

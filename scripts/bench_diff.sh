@@ -1,0 +1,111 @@
+#!/bin/sh
+# bench_diff.sh — benchstat-style comparison of two BENCH_*.json baselines
+# (the envelopes scripts/bench.sh writes).
+#
+# Usage:
+#   scripts/bench_diff.sh OLD.json NEW.json   # compare two baselines
+#   scripts/bench_diff.sh OLD.json            # fresh -quick run vs OLD
+#   scripts/bench_diff.sh                     # fresh -quick run vs the
+#                                             # newest committed BENCH_*.json
+#
+# Prints one row per benchmark present in both files: ns/op and allocs/op
+# with their deltas. Rows regressing more than 10% on ns/op, or increasing
+# allocs/op at all, are flagged REGRESSION and make the script exit 1 —
+# CI runs it with continue-on-error so the annotation never gates a merge
+# (benchmark noise on shared runners is real; a human reads the flag).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+old="${1:-}"
+new="${2:-}"
+
+if [ -z "$old" ]; then
+	# Newest committed baseline by name (the files are date-stamped).
+	old=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+	if [ -z "$old" ]; then
+		echo "bench_diff: no BENCH_*.json baseline found" >&2
+		exit 2
+	fi
+fi
+if [ ! -f "$old" ]; then
+	echo "bench_diff: baseline $old not found" >&2
+	exit 2
+fi
+
+tmp=""
+if [ -z "$new" ]; then
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	echo "== no NEW baseline given; running the quick benchmark suite"
+	BENCH_OUT="$tmp" sh scripts/bench.sh -quick >/dev/null
+	new="$tmp"
+fi
+if [ ! -f "$new" ]; then
+	echo "bench_diff: new baseline $new not found" >&2
+	exit 2
+fi
+
+echo "== bench-diff: $old -> $new"
+
+# extract pulls "name ns_per_op allocs_per_op" triples out of a baseline's
+# benchmarks array (one JSON object per line, as bench.sh emits them).
+extract() {
+	awk '
+	/"name":/ {
+		name = ""; ns = ""; allocs = "-"
+		if (match($0, /"name": "[^"]*"/)) {
+			name = substr($0, RSTART + 9, RLENGTH - 10)
+		}
+		if (match($0, /"ns_per_op": [0-9.]*/)) {
+			ns = substr($0, RSTART + 13, RLENGTH - 13)
+		}
+		if (match($0, /"allocs_per_op": [0-9]*/)) {
+			allocs = substr($0, RSTART + 17, RLENGTH - 17)
+		}
+		if (name != "" && ns != "") print name, ns, allocs
+	}' "$1"
+}
+
+oldtab=$(mktemp)
+newtab=$(mktemp)
+trap 'rm -f "$oldtab" "$newtab" ${tmp:+"$tmp"}' EXIT
+extract "$old" > "$oldtab"
+extract "$new" > "$newtab"
+
+awk -v oldfile="$oldtab" '
+BEGIN {
+	while ((getline line < oldfile) > 0) {
+		split(line, f, " ")
+		ns[f[1]] = f[2]; allocs[f[1]] = f[3]
+	}
+	close(oldfile)
+	printf "%-34s %14s %14s %8s %12s %12s %8s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta", ""
+	bad = 0
+}
+{
+	name = $1; newns = $2; newallocs = $3
+	if (!(name in ns)) next
+	oldns = ns[name]; oldallocs = allocs[name]
+	dns = (oldns > 0) ? (newns - oldns) / oldns * 100 : 0
+	flag = ""
+	if (dns > 10) flag = "REGRESSION(ns/op +" sprintf("%.1f", dns) "%)"
+	da = "-"
+	if (oldallocs != "-" && newallocs != "-") {
+		da = sprintf("%+d", newallocs - oldallocs)
+		if (newallocs + 0 > oldallocs + 0) {
+			flag = flag ((flag == "") ? "" : " ") "REGRESSION(allocs/op +" newallocs - oldallocs ")"
+		}
+	}
+	if (flag != "") bad++
+	printf "%-34s %14s %14s %+7.1f%% %12s %12s %8s  %s\n",
+		name, oldns, newns, dns, oldallocs, newallocs, da, flag
+}
+END {
+	if (bad > 0) {
+		printf "\n%d benchmark(s) regressed (>10%% ns/op or any allocs/op increase)\n", bad
+		exit 1
+	}
+	print "\nno regressions"
+}' "$newtab"
