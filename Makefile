@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race resilience-smoke parallel-smoke bench bench-quick bench-diff clean
+.PHONY: all build test check vet fmt lint race resilience-smoke parallel-smoke attrib-smoke bench bench-quick bench-diff clean
 
 all: check
 
@@ -26,6 +26,12 @@ resilience-smoke: build
 parallel-smoke: build
 	$(GO) run ./cmd/caissim -experiment all -quick -parallel 4
 
+# attrib-smoke: the time-attribution engine end to end (DESIGN.md §12) —
+# a quick fig17 sweep with the tick-exact JSON report written out; CI
+# uploads the report as a non-gating artifact.
+attrib-smoke: build
+	$(GO) run ./cmd/caissim -experiment fig17 -quick -attrib-json attrib-report.json
+
 vet:
 	$(GO) vet ./...
 
@@ -38,7 +44,7 @@ fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet lint test race resilience-smoke
+check: fmt vet lint test race resilience-smoke attrib-smoke
 
 # bench: the full benchmark suite (experiment drivers, engine hot path,
 # tracer, metrics) via scripts/bench.sh, which writes a dated

@@ -13,6 +13,10 @@ import (
 // (roughly 40% of baseline), so headroom is real but bounded — a change
 // that reintroduces per-packet or per-request allocation trips these
 // before it reaches a benchmark diff.
+// The ceilings double as the attribution PR's disabled-path guard: none of
+// these configs set Config.Attrib or Options.UtilBin, so a change that
+// makes the off-by-default observability layer allocate (an eagerly built
+// tracer, an unconditional recorder) trips them immediately.
 const (
 	allocCeilingFig17  = 6_591_669 // 50% of 13_183_339
 	allocCeilingTable2 = 3_720_003 // 50% of 7_440_006

@@ -8,6 +8,7 @@ package cais_test
 import (
 	"testing"
 
+	"cais/internal/attrib"
 	"cais/internal/experiments"
 )
 
@@ -139,6 +140,24 @@ func BenchmarkFig17GPUScaling(b *testing.B) {
 		tput = r.Rows[len(r.Rows)-1].CAIS
 	}
 	b.ReportMetric(tput, "per-GPU-throughput@maxGPUs")
+}
+
+// BenchmarkFig17Attributed is the same sweep with time attribution on:
+// the delta against BenchmarkFig17GPUScaling is the all-in cost of
+// tracing every point plus the offline interval sweep. The disabled path
+// (the benchmark above) is the regression-guarded one; this one exists to
+// keep the enabled-path cost visible in benchmark diffs.
+func BenchmarkFig17Attributed(b *testing.B) {
+	var points float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Attrib = attrib.NewAggregator()
+		if _, err := experiments.Fig17(cfg); err != nil {
+			b.Fatal(err)
+		}
+		points = float64(cfg.Attrib.Len())
+	}
+	b.ReportMetric(points, "attributed-points")
 }
 
 func BenchmarkFig18NVLSValidation(b *testing.B) {

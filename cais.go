@@ -16,6 +16,7 @@
 package cais
 
 import (
+	"cais/internal/attrib"
 	"cais/internal/config"
 	"cais/internal/core"
 	"cais/internal/experiments"
@@ -71,6 +72,20 @@ type (
 	FaultSchedule = faults.Schedule
 	// Fault is one fault of a schedule (kind, onset, duration, target).
 	Fault = faults.Fault
+	// AttribReport is one run's deterministic time-attribution report:
+	// per-component bucket breakdown plus the critical path (DESIGN.md
+	// §12). Produced via RunOptions.Attrib.
+	AttribReport = attrib.Report
+	// AttribAggregator folds labeled per-point reports into sweep-level
+	// tables and JSON/Chrome-trace exports. Attach via
+	// ExperimentConfig.Attrib (caissim -attrib).
+	AttribAggregator = attrib.Aggregator
+	// UtilTimeline is a replayable binned link-utilization timeline
+	// (RunOptions.UtilBin).
+	UtilTimeline = metrics.UtilTimeline
+	// MetricsRegistry registers named counters and gauges and snapshots
+	// them into Telemetry.
+	MetricsRegistry = metrics.Registry
 )
 
 // NewTracer creates an enabled event tracer. Pass it via RunOptions.Tracer
@@ -152,6 +167,19 @@ func NewSession(hw Hardware, opts SessionOptions) (*Session, error) {
 // NewMemoCache creates an empty simulation-point cache for
 // ExperimentConfig.Memo.
 func NewMemoCache() *MemoCache { return memo.NewCache() }
+
+// NewAttribAggregator creates an empty attribution aggregator for
+// ExperimentConfig.Attrib.
+func NewAttribAggregator() *AttribAggregator { return attrib.NewAggregator() }
+
+// NewMetricsRegistry creates an empty metrics registry (caissim uses one
+// to export sweep-level counters such as the memo cache's hit/miss totals
+// via -metrics-json in experiment mode).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// RegisterMemoMetrics exposes a memo cache's hit/miss/single-flight
+// counters in a registry as memo.* gauges.
+func RegisterMemoMetrics(c *MemoCache, reg *MetricsRegistry) { c.RegisterMetrics(reg) }
 
 // DefaultExperiments returns the full-fidelity experiment configuration.
 func DefaultExperiments() ExperimentConfig { return experiments.Default() }

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -42,7 +43,10 @@ func main() {
 		noMemo     = flag.Bool("no-memo", false, "disable cross-sweep point memoization; every experiment point simulates cold (output is byte-identical either way)")
 		faultsFile = flag.String("faults", "", "JSON fault-injection schedule (strategy runs; see DESIGN.md §8)")
 		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (strategy runs)")
-		metricsOut = flag.String("metrics-json", "", "write the run's metric snapshot as JSON to this file (strategy runs)")
+		metricsOut = flag.String("metrics-json", "", "write the metric snapshot as JSON to this file (per-run for -strategy; sweep-level memo/cache counters for experiments)")
+		attribOn   = flag.Bool("attrib", false, "print the time-attribution breakdown and critical path (DESIGN.md §12)")
+		attribJSON = flag.String("attrib-json", "", "write the attribution report as JSON to this file (implies attribution)")
+		attribTr   = flag.String("attrib-trace", "", "write the attribution top-contributors view as a Chrome trace to this file (implies attribution)")
 		verbose    = flag.Bool("v", false, "log simulation progress to stderr")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
@@ -85,15 +89,20 @@ func main() {
 			name: *strat, model: *modelName, layers: *layers, training: *training,
 			gpus: *gpus, gpusSet: gpusSet, requestKB: *requestKB, seed: *seed, faultsFile: *faultsFile,
 			traceOut: *traceOut, metricsOut: *metricsOut, verbose: *verbose,
+			attrib: *attribOn, attribJSON: *attribJSON, attribTrace: *attribTr,
 		})
 	case *experiment != "":
-		if *traceOut != "" || *metricsOut != "" {
-			fmt.Fprintln(os.Stderr, "note: -trace/-metrics-json apply to -strategy runs only; ignored for experiments")
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "note: -trace applies to -strategy runs only; ignored for experiments")
 		}
 		if *faultsFile != "" {
 			fmt.Fprintln(os.Stderr, "note: -faults applies to -strategy runs only; the resilience experiment builds its own schedules")
 		}
-		runExperiments(*experiment, *quick, *seed, *parallel, *noMemo)
+		runExperiments(experimentRun{
+			id: *experiment, quick: *quick, seed: *seed, workers: *parallel, noMemo: *noMemo,
+			metricsOut: *metricsOut,
+			attrib:     *attribOn, attribJSON: *attribJSON, attribTrace: *attribTr,
+		})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -107,33 +116,49 @@ func usageErr(what, got string, valid []string) {
 	os.Exit(2)
 }
 
-func runExperiments(id string, quick bool, seed uint64, workers int, noMemo bool) {
+type experimentRun struct {
+	id      string
+	quick   bool
+	seed    uint64
+	workers int
+	noMemo  bool
+
+	metricsOut  string
+	attrib      bool
+	attribJSON  string
+	attribTrace string
+}
+
+func runExperiments(r experimentRun) {
 	cfg := cais.DefaultExperiments()
-	if quick {
+	if r.quick {
 		cfg = cais.QuickExperiments()
 	}
-	if seed != 0 {
-		cfg.HW.Seed = seed
+	if r.seed != 0 {
+		cfg.HW.Seed = r.seed
 	}
-	cfg.Workers = workers
+	cfg.Workers = r.workers
 	// One cache per invocation: points repeated across figure drivers (the
 	// shared TP-NVLS / CAIS anchors) simulate once under -experiment all.
-	if !noMemo {
+	if !r.noMemo {
 		cfg.Memo = cais.NewMemoCache()
 	}
-	ids := []string{id}
-	if id == "all" {
+	if r.attrib || r.attribJSON != "" || r.attribTrace != "" {
+		cfg.Attrib = cais.NewAttribAggregator()
+	}
+	ids := []string{r.id}
+	if r.id == "all" {
 		ids = cais.ExperimentNames()
 	} else {
 		known := false
 		for _, n := range cais.ExperimentNames() {
-			if n == id {
+			if n == r.id {
 				known = true
 				break
 			}
 		}
 		if !known {
-			usageErr("experiment", id, append(cais.ExperimentNames(), "all"))
+			usageErr("experiment", r.id, append(cais.ExperimentNames(), "all"))
 		}
 	}
 	for _, x := range ids {
@@ -145,6 +170,32 @@ func runExperiments(id string, quick bool, seed uint64, workers int, noMemo bool
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %v]\n\n", x, time.Since(start).Round(time.Millisecond))
+	}
+	if r.attrib {
+		fmt.Println(cfg.Attrib.Render())
+	}
+	if r.attribJSON != "" {
+		if err := cfg.Attrib.WriteFile(r.attribJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "attrib-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote attribution for %d points to %s\n", cfg.Attrib.Len(), r.attribJSON)
+	}
+	if r.attribTrace != "" {
+		if err := cfg.Attrib.WriteChromeTraceFile(r.attribTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "attrib-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote attribution Chrome trace to %s\n", r.attribTrace)
+	}
+	if r.metricsOut != "" {
+		reg := cais.NewMetricsRegistry()
+		cais.RegisterMemoMetrics(cfg.Memo, reg)
+		if err := writeMetrics(r.metricsOut, reg.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d metrics to %s\n", reg.Snapshot().Len(), r.metricsOut)
 	}
 	if cfg.Memo != nil {
 		fmt.Fprintf(os.Stderr, "[memo: %d lookups, %d served from cache, %d points simulated]\n",
@@ -166,6 +217,10 @@ type strategyRun struct {
 	traceOut   string
 	metricsOut string
 	verbose    bool
+
+	attrib      bool
+	attribJSON  string
+	attribTrace string
 }
 
 // strategyNames lists every accepted -strategy value (baselines, CAIS, its
@@ -229,6 +284,9 @@ func runStrategy(r strategyRun) {
 	if r.traceOut != "" {
 		opts.Tracer = cais.NewTracer()
 	}
+	if r.attrib || r.attribJSON != "" || r.attribTrace != "" {
+		opts.Attrib = true
+	}
 	if r.verbose {
 		wallStart := time.Now()
 		lastWall := wallStart
@@ -271,6 +329,24 @@ func runStrategy(r strategyRun) {
 	if st.SkewSamples() > 0 {
 		fmt.Printf("  avg request arrival skew: %v\n", st.AvgSkew())
 	}
+	if r.attrib {
+		fmt.Println()
+		fmt.Print(res.Attrib.Render())
+	}
+	if r.attribJSON != "" {
+		if err := writeTo(r.attribJSON, res.Attrib.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "attrib-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote attribution report to %s\n", r.attribJSON)
+	}
+	if r.attribTrace != "" {
+		if err := writeTo(r.attribTrace, res.Attrib.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "attrib-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote attribution Chrome trace to %s\n", r.attribTrace)
+	}
 
 	if r.traceOut != "" {
 		if err := opts.Tracer.WriteFile(r.traceOut); err != nil {
@@ -289,11 +365,16 @@ func runStrategy(r strategyRun) {
 }
 
 func writeMetrics(path string, snap cais.Telemetry) error {
+	return writeTo(path, snap.WriteJSON)
+}
+
+// writeTo creates path and streams write into it, closing on all paths.
+func writeTo(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := snap.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -25,6 +25,7 @@ type runDigest struct {
 	mergeHWM  int64
 	telemetry [sha256.Size]byte
 	trace     [sha256.Size]byte
+	attrib    [sha256.Size]byte
 }
 
 func digestRun(t *testing.T, training bool) runDigest {
@@ -42,20 +43,30 @@ func digestRunFaults(t *testing.T, training bool, sched *cais.FaultSchedule) run
 		res cais.Result
 		err error
 	)
+	// Attribution rides along on every digested run: its rendered report
+	// plus JSON must be exactly as bit-reproducible as the raw trace.
+	opts := cais.RunOptions{Tracer: tr, Faults: sched, Attrib: true}
 	if training {
-		res, err = cais.RunTrainingOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr, Faults: sched})
+		res, err = cais.RunTrainingOpts(hw, cais.CAIS(), m, 2, opts)
 	} else {
-		res, err = cais.RunInferenceOpts(hw, cais.CAIS(), m, 2, cais.RunOptions{Tracer: tr, Faults: sched})
+		res, err = cais.RunInferenceOpts(hw, cais.CAIS(), m, 2, opts)
 	}
 	if err != nil {
 		t.Fatalf("run(training=%v): %v", training, err)
 	}
-	var tele, spans bytes.Buffer
+	var tele, spans, rep bytes.Buffer
 	if err := res.Telemetry.WriteJSON(&tele); err != nil {
 		t.Fatalf("telemetry: %v", err)
 	}
 	if err := tr.WriteJSON(&spans); err != nil {
 		t.Fatalf("trace: %v", err)
+	}
+	if res.Attrib == nil {
+		t.Fatal("attribution report missing")
+	}
+	rep.WriteString(res.Attrib.Render())
+	if err := res.Attrib.WriteJSON(&rep); err != nil {
+		t.Fatalf("attribution: %v", err)
 	}
 	return runDigest{
 		elapsed:   res.Elapsed,
@@ -65,6 +76,7 @@ func digestRunFaults(t *testing.T, training bool, sched *cais.FaultSchedule) run
 		mergeHWM:  res.MergeHWM,
 		telemetry: sha256.Sum256(tele.Bytes()),
 		trace:     sha256.Sum256(spans.Bytes()),
+		attrib:    sha256.Sum256(rep.Bytes()),
 	}
 }
 
@@ -90,6 +102,9 @@ func assertIdentical(t *testing.T, a, b runDigest) {
 	}
 	if a.trace != b.trace {
 		t.Errorf("trace JSON digest differs across identical runs")
+	}
+	if a.attrib != b.attrib {
+		t.Errorf("attribution report digest differs across identical runs")
 	}
 }
 

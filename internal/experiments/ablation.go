@@ -45,7 +45,7 @@ func AblationEviction(c Config) (*AblationResult, error) {
 	policies := []nvswitch.EvictionPolicy{nvswitch.EvictLRU, nvswitch.EvictFIFO, nvswitch.EvictMRU}
 	results, err := mapPoints(c, len(policies), func(i int) (memo.Entry, error) {
 		pol := policies[i]
-		res, err := memo.RunSubLayer(c.Memo, hw, strategy.CAISNoCoord(), sub, strategy.Options{Eviction: pol})
+		res, err := c.runSubLayer("ablation-eviction/"+pol.String(), hw, strategy.CAISNoCoord(), sub, strategy.Options{Eviction: pol})
 		if err != nil {
 			return memo.Entry{}, fmt.Errorf("ablation eviction %v: %w", pol, err)
 		}
@@ -74,7 +74,7 @@ func AblationSideband(c Config) (*AblationResult, error) {
 	}{{"sideband on (default)", false}, {"sideband off", true}}
 	results, err := mapPoints(c, len(variants), func(i int) (memo.Entry, error) {
 		v := variants[i]
-		res, err := memo.RunSubLayer(c.Memo, hw, strategy.CAIS(), sub, strategy.Options{NoControlSideband: v.off})
+		res, err := c.runSubLayer("ablation-sideband/"+v.name, hw, strategy.CAIS(), sub, strategy.Options{NoControlSideband: v.off})
 		if err != nil {
 			return memo.Entry{}, fmt.Errorf("ablation sideband %s: %w", v.name, err)
 		}
@@ -102,11 +102,11 @@ func AblationGranularity(c Config) (*AblationResult, error) {
 		rb := sizes[i]
 		hw := c.HW
 		hw.RequestBytes = rb
-		caisRes, err := memo.RunSubLayer(c.Memo, hw, strategy.CAIS(), sub, strategy.Options{})
+		caisRes, err := c.runSubLayer(fmt.Sprintf("ablation-granularity/%dKB/CAIS", rb>>10), hw, strategy.CAIS(), sub, strategy.Options{})
 		if err != nil {
 			return AblationRow{}, fmt.Errorf("ablation granularity %d: %w", rb, err)
 		}
-		tp, err := memo.RunSubLayer(c.Memo, hw, strategy.TPNVLS(), sub, strategy.Options{})
+		tp, err := c.runSubLayer(fmt.Sprintf("ablation-granularity/%dKB/TP-NVLS", rb>>10), hw, strategy.TPNVLS(), sub, strategy.Options{})
 		if err != nil {
 			return AblationRow{}, fmt.Errorf("ablation granularity %d: %w", rb, err)
 		}

@@ -50,7 +50,7 @@ func Fig2(c Config) (*Fig2Result, error) {
 		p := counts[i]
 		hw := c.e2eHW()
 		hw.NumGPUs = p
-		real, err := memo.RunLayers(c.Memo, hw, strategy.SPNVLS(), cfg, false, c.layers(), strategy.Options{})
+		real, err := c.runLayers(fmt.Sprintf("fig2/p%d/real", p), hw, strategy.SPNVLS(), cfg, false, c.layers(), strategy.Options{})
 		if err != nil {
 			return Fig2Row{}, fmt.Errorf("fig2 p=%d: %w", p, err)
 		}
@@ -59,7 +59,7 @@ func Fig2(c Config) (*Fig2Result, error) {
 		ideal.LinkEfficiency = 1
 		ideal.LinkLatency = 0
 		ideal.SwitchLatency = 0
-		perfect, err := memo.RunLayers(c.Memo, ideal, strategy.SPNVLS(), cfg, false, c.layers(), strategy.Options{})
+		perfect, err := c.runLayers(fmt.Sprintf("fig2/p%d/ideal", p), ideal, strategy.SPNVLS(), cfg, false, c.layers(), strategy.Options{})
 		if err != nil {
 			return Fig2Row{}, fmt.Errorf("fig2 ideal p=%d: %w", p, err)
 		}
@@ -121,7 +121,12 @@ func Fig11(c Config) (*Fig11Result, error) {
 		workloads = workloads[:1]
 	}
 	return speedupStudy(c, func(spec strategy.Spec, cfg config.Model, training bool) (memo.Entry, error) {
-		return memo.RunLayers(c.Memo, c.e2eHW(), spec, cfg, training, c.layers(), strategy.Options{})
+		wl := "inference"
+		if training {
+			wl = "training"
+		}
+		return c.runLayers("fig11/"+cfg.Name+"/"+wl+"/"+spec.Name,
+			c.e2eHW(), spec, cfg, training, c.layers(), strategy.Options{})
 	}, workloads)
 }
 
@@ -267,7 +272,8 @@ func Fig12(c Config) (*Fig12Result, error) {
 	elapsed, err := mapPoints(c, len(keys), func(i int) (sim.Time, error) {
 		k := keys[i]
 		cell := cells[k.ci]
-		res, err := memo.RunSubLayer(c.Memo, hw, specs[k.si], cell.sub, strategy.Options{})
+		res, err := c.runSubLayer("fig12/"+cell.model.Name+"/"+cell.sub.ID+"/"+specs[k.si].Name,
+			hw, specs[k.si], cell.sub, strategy.Options{})
 		if err != nil {
 			return 0, fmt.Errorf("fig12 %s/%s/%s: %w", cell.model.Name, cell.sub.ID, specs[k.si].Name, err)
 		}
@@ -370,7 +376,8 @@ func Fig17(c Config) (*Fig17Result, error) {
 		cfg.Layers = cfg0.Layers
 		var pt point
 		for _, spec := range []strategy.Spec{strategy.CAIS(), strategy.CoCoNetNVLS()} {
-			res, err := memo.RunLayers(c.Memo, hw, spec, cfg, false, 1, strategy.Options{})
+			res, err := c.runLayers(fmt.Sprintf("fig17/p%d/%s", p, spec.Name),
+				hw, spec, cfg, false, 1, strategy.Options{})
 			if err != nil {
 				return point{}, fmt.Errorf("fig17 p=%d %s: %w", p, spec.Name, err)
 			}
@@ -461,11 +468,11 @@ func Table2(c Config) (*Table2Result, error) {
 		setup := setups[i]
 		hw := c.e2eHW()
 		hw.SMsPerGPU = setup.sms
-		cais, err := memo.RunLayers(c.Memo, hw, strategy.CAIS(), setup.cfg, false, 1, strategy.Options{})
+		cais, err := c.runLayers("table2/"+setup.cfg.Name+"/CAIS", hw, strategy.CAIS(), setup.cfg, false, 1, strategy.Options{})
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
 		}
-		tp, err := memo.RunLayers(c.Memo, hw, strategy.TPNVLS(), setup.cfg, false, 1, strategy.Options{})
+		tp, err := c.runLayers("table2/"+setup.cfg.Name+"/TP-NVLS", hw, strategy.TPNVLS(), setup.cfg, false, 1, strategy.Options{})
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("table2 %s: %w", setup.cfg.Name, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cais/internal/attrib"
 	"cais/internal/config"
 	"cais/internal/memo"
 	"cais/internal/sim"
@@ -42,6 +43,14 @@ type Config struct {
 	// invocation. Nil disables memoization (caissim -no-memo); output bytes
 	// are identical either way, only the run count changes.
 	Memo *memo.Cache
+
+	// Attrib, when set, collects a time-attribution report for every
+	// simulation point the drivers run (caissim -attrib, DESIGN.md §12).
+	// Points are labeled "<experiment>/<point>" and folded label-sorted, so
+	// the aggregate renders byte-identically at any worker count. Nil (the
+	// default) keeps attribution fully disabled: options pass through the
+	// run helpers untouched.
+	Attrib *attrib.Aggregator
 }
 
 // Default returns the full-fidelity configuration.

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/strategy"
@@ -35,7 +34,7 @@ func Fig10(c Config) (*Fig10Result, error) {
 	specs := []strategy.Spec{strategy.SPNVLS(), strategy.T3NVLS(), strategy.CAISBase(), strategy.CAIS()}
 	rows, err := mapPoints(c, len(specs), func(i int) (Fig10Row, error) {
 		spec := specs[i]
-		res, err := memo.RunSubLayer(c.Memo, hw, spec, sub, strategy.Options{})
+		res, err := c.runSubLayer("fig10/"+spec.Name, hw, spec, sub, strategy.Options{})
 		if err != nil {
 			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", spec.Name, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"cais/internal/attrib"
 	"cais/internal/memo"
 )
 
@@ -13,8 +14,10 @@ import (
 // waiting-time anchors, and resilience itself re-runs each strategy's
 // healthy point once per fault family. Together they must produce cache
 // hits, and each must render byte-identically with the cache hot or cold.
-// Table II rides along to cover the RunLayers key path.
-var memoExperiments = []string{"fig13b", "table2", "resilience"}
+// Table II rides along to cover the RunLayers key path. Fig. 16 joins the
+// set now that its utilization timeline is a replayable memo artifact
+// (Options.UtilBin) instead of a cache-bypassing Configure callback.
+var memoExperiments = []string{"fig13b", "fig16", "table2", "resilience"}
 
 // runAll renders the memo-sensitive experiments under one configuration
 // and returns the concatenated output.
@@ -83,5 +86,63 @@ func TestMemoOutputByteIdentical(t *testing.T) {
 	}
 	if c.Memo.Misses() != missesAfterFirst {
 		t.Errorf("re-render simulated %d new points, want 0", c.Memo.Misses()-missesAfterFirst)
+	}
+}
+
+// TestFig16MemoReplay pins the tentpole's replayable-timeline guarantee in
+// isolation: Fig. 16 consumes a binned utilization timeline per point, so a
+// second regeneration over a shared cache must simulate NOTHING — every
+// timeline replays from its memo entry — and still render byte-identically.
+func TestFig16MemoReplay(t *testing.T) {
+	c := Quick()
+	c.Workers = 1
+	c.Memo = memo.NewCache()
+	first, err := Run("fig16", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := c.Memo.Misses()
+	if misses == 0 {
+		t.Fatal("cold fig16 run simulated nothing; memo wiring is broken")
+	}
+	second, err := Run("fig16", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Error("memo-hit fig16 output differs from cold run")
+	}
+	if c.Memo.Misses() != misses {
+		t.Errorf("second fig16 run simulated %d new points, want 0 (timeline did not replay)",
+			c.Memo.Misses()-misses)
+	}
+	if c.Memo.Hits() == 0 {
+		t.Error("second fig16 run recorded no cache hits")
+	}
+}
+
+// TestAttributionReplaysFromMemo checks the other replayable artifact:
+// attribution reports cached on a miss must replay on hits with
+// byte-identical aggregate output (cold cache vs fully hot cache).
+func TestAttributionReplaysFromMemo(t *testing.T) {
+	c := Quick()
+	c.Workers = 1
+	c.Memo = memo.NewCache()
+	c.Attrib = attrib.NewAggregator()
+	if _, err := Run("fig13b", c); err != nil {
+		t.Fatal(err)
+	}
+	cold := c.Attrib.Render()
+	misses := c.Memo.Misses()
+
+	c.Attrib = attrib.NewAggregator()
+	if _, err := Run("fig13b", c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Memo.Misses() != misses {
+		t.Errorf("hot re-run simulated %d new points, want 0", c.Memo.Misses()-misses)
+	}
+	if hot := c.Attrib.Render(); hot != cold {
+		t.Error("attribution from memo hits differs from cold-run attribution")
 	}
 }

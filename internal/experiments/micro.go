@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"cais/internal/machine"
-	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/sim"
@@ -57,11 +55,11 @@ func Fig13a(c Config) (*Fig13aResult, error) {
 		// full request set and the high-water mark is the true
 		// buffering requirement.
 		opts := strategy.Options{UnlimitedMergeTable: true, NoMergeTimeout: true}
-		coord, err := memo.RunSubLayer(c.Memo, hw, strategy.CAIS(), cl.sub, opts)
+		coord, err := c.runSubLayer("fig13a/"+cl.modelName+"/"+cl.sub.ID+"/CAIS", hw, strategy.CAIS(), cl.sub, opts)
 		if err != nil {
 			return Fig13aRow{}, fmt.Errorf("fig13a %s/%s coord: %w", cl.modelName, cl.sub.ID, err)
 		}
-		uncoord, err := memo.RunSubLayer(c.Memo, hw, strategy.CAISNoCoord(), cl.sub, opts)
+		uncoord, err := c.runSubLayer("fig13a/"+cl.modelName+"/"+cl.sub.ID+"/no-coord", hw, strategy.CAISNoCoord(), cl.sub, opts)
 		if err != nil {
 			return Fig13aRow{}, fmt.Errorf("fig13a %s/%s uncoord: %w", cl.modelName, cl.sub.ID, err)
 		}
@@ -128,7 +126,7 @@ func Fig13b(c Config) (*Fig13bResult, error) {
 	hw := c.microHW()
 	rows, err := mapPoints(c, len(steps), func(i int) (Fig13bRow, error) {
 		st := steps[i]
-		res, err := memo.RunSubLayer(c.Memo, hw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true})
+		res, err := c.runSubLayer("fig13b/"+st.name, hw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true})
 		if err != nil {
 			return Fig13bRow{}, fmt.Errorf("fig13b %s: %w", st.name, err)
 		}
@@ -189,11 +187,11 @@ func Fig14(c Config) (*Fig14Result, error) {
 	points, err := mapPoints(c, len(sizes), func(i int) (pair, error) {
 		kb := sizes[i]
 		opts := strategy.Options{MergeTableBytes: int64(kb) << 10}
-		cais, err := memo.RunSubLayer(c.Memo, hw, strategy.CAIS(), sub, opts)
+		cais, err := c.runSubLayer(fmt.Sprintf("fig14/%dKB/CAIS", kb), hw, strategy.CAIS(), sub, opts)
 		if err != nil {
 			return pair{}, fmt.Errorf("fig14 cais %dKB: %w", kb, err)
 		}
-		unc, err := memo.RunSubLayer(c.Memo, hw, strategy.CAISNoCoord(), sub, opts)
+		unc, err := c.runSubLayer(fmt.Sprintf("fig14/%dKB/no-coord", kb), hw, strategy.CAISNoCoord(), sub, opts)
 		if err != nil {
 			return pair{}, fmt.Errorf("fig14 uncoord %dKB: %w", kb, err)
 		}
@@ -272,7 +270,8 @@ func Fig15(c Config) (*Fig15Result, error) {
 	utils, err := mapPoints(c, len(keys), func(i int) (float64, error) {
 		k := keys[i]
 		cl := cells[k.ci]
-		res, err := memo.RunSubLayer(c.Memo, hw, specs[k.si], cl.sub, strategy.Options{})
+		res, err := c.runSubLayer("fig15/"+cl.modelName+"/"+cl.sub.ID+"/"+specs[k.si].Name,
+			hw, specs[k.si], cl.sub, strategy.Options{})
 		if err != nil {
 			return 0, fmt.Errorf("fig15 %s/%s/%s: %w", cl.modelName, cl.sub.ID, specs[k.si].Name, err)
 		}
@@ -338,17 +337,15 @@ func Fig16(c Config) (*Fig16Result, error) {
 	specs := []strategy.Spec{strategy.CAISBase(), strategy.CAISPartial(), strategy.CAIS()}
 	series, err := mapPoints(c, len(specs), func(i int) (Fig16Series, error) {
 		spec := specs[i]
-		// Each point owns its private recorder; nothing is shared. The
-		// Configure callback makes this point non-cacheable, so the memo
-		// wrapper always simulates it (memo.Cacheable).
-		rec := metrics.NewUtilSeries(bin, 2*hw.NumGPUs*hw.NumSwitchPlanes)
-		_, err := memo.RunSubLayer(c.Memo, hw, spec, sub, strategy.Options{
-			Configure: func(m *machine.Machine) { m.AttachRecorder(rec) },
-		})
+		// UtilBin is declarative and hashed into the memo key, so the
+		// timeline records into the cache entry on the first run and
+		// replays byte-identically on hits — this figure used to bypass
+		// the cache via a Configure callback.
+		ent, err := c.runSubLayer("fig16/"+spec.Name, hw, spec, sub, strategy.Options{UtilBin: bin})
 		if err != nil {
 			return Fig16Series{}, fmt.Errorf("fig16 %s: %w", spec.Name, err)
 		}
-		return Fig16Series{Name: spec.Name, Bin: bin, Util: rec.Utilization()}, nil
+		return Fig16Series{Name: spec.Name, Bin: bin, Util: ent.Timeline.Utilization()}, nil
 	})
 	if err != nil {
 		return nil, err

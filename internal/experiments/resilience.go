@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"cais/internal/attrib"
 	"cais/internal/faults"
-	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
 	"cais/internal/sim"
@@ -33,6 +33,21 @@ type ResilienceWaitRow struct {
 	Elapsed sim.Time
 }
 
+// ResilienceAttribRow is one (family, severity) point's CAIS time
+// attribution: class-averaged bucket shares showing which bucket the
+// fault's damage lands in (DESIGN.md §12). Populated only when the study
+// runs with an attribution aggregator attached (caissim -attrib).
+type ResilienceAttribRow struct {
+	Family   string
+	Severity string
+	// GPU-class shares of elapsed.
+	Compute, SyncWait, GPUStall float64
+	// Switch-plane-class shares of elapsed.
+	Transit, Merge, PlaneStall float64
+	// FaultStall is the mean fault-overlap share across both classes.
+	FaultStall float64
+}
+
 // ResilienceResult is the degradation study.
 type ResilienceResult struct {
 	Rows       []ResilienceRow
@@ -41,6 +56,8 @@ type ResilienceResult struct {
 	// scenario (severity-zero rows excluded: they are the healthy anchor).
 	Geomean map[string]float64
 	Waits   []ResilienceWaitRow
+	// AttribRows is the attribution section (empty without -attrib).
+	AttribRows []ResilienceAttribRow
 }
 
 // resilienceScenario is one severity step of a fault family; a nil schedule
@@ -157,13 +174,17 @@ func Resilience(c Config) (*ResilienceResult, error) {
 			}
 		}
 	}
-	elapsed, err := mapPoints(c, len(keys), func(i int) (sim.Time, error) {
+	type pointResult struct {
+		elapsed sim.Time
+		rep     *attrib.Report
+	}
+	points, err := mapPoints(c, len(keys), func(i int) (pointResult, error) {
 		k := keys[i]
-		res, err := memo.RunSubLayer(c.Memo, hw, k.spec, sub, strategy.Options{Faults: k.sched})
+		res, err := c.runSubLayer("resilience/"+k.tag, hw, k.spec, sub, strategy.Options{Faults: k.sched})
 		if err != nil {
-			return 0, fmt.Errorf("resilience %s: %w", k.tag, err)
+			return pointResult{}, fmt.Errorf("resilience %s: %w", k.tag, err)
 		}
-		return res.Elapsed, nil
+		return pointResult{elapsed: res.Elapsed, rep: res.Attrib}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -181,7 +202,8 @@ func Resilience(c Config) (*ResilienceResult, error) {
 				RelTput: map[string]float64{},
 			}
 			for _, spec := range specs {
-				e := elapsed[idx]
+				pt := points[idx]
+				e := pt.elapsed
 				idx++
 				row.Elapsed[spec.Name] = e
 				if sc.sched == nil {
@@ -189,6 +211,9 @@ func Resilience(c Config) (*ResilienceResult, error) {
 				}
 				if h := healthy[spec.Name]; h > 0 && e > 0 {
 					row.RelTput[spec.Name] = float64(h) / float64(e)
+				}
+				if spec.Name == "CAIS" && pt.rep != nil {
+					out.AttribRows = append(out.AttribRows, attribRow(fam.name, sc.severity, pt.rep))
 				}
 			}
 			cais := row.Elapsed["CAIS"]
@@ -237,13 +262,14 @@ func resilienceWaits(c Config, sub model.SubLayer) ([]ResilienceWaitRow, error) 
 	mhw := c.microHW()
 	return mapPoints(c, len(steps), func(i int) (ResilienceWaitRow, error) {
 		st := steps[i]
-		res, err := memo.RunSubLayer(c.Memo, mhw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true, Faults: st.sched})
-		if err != nil {
-			return ResilienceWaitRow{}, fmt.Errorf("resilience waits %s: %w", st.name, err)
-		}
 		gpus := "healthy"
 		if st.sched != nil {
 			gpus = "gpu0 2x slower"
+		}
+		res, err := c.runSubLayer("resilience/waits/"+st.name+"/"+gpus,
+			mhw, st.spec, sub, strategy.Options{UnlimitedMergeTable: true, Faults: st.sched})
+		if err != nil {
+			return ResilienceWaitRow{}, fmt.Errorf("resilience waits %s: %w", st.name, err)
 		}
 		return ResilienceWaitRow{
 			Config: st.name, GPUs: gpus,
@@ -290,5 +316,35 @@ func (r *ResilienceResult) Render() string {
 	for _, row := range r.Waits {
 		wt.Addf(row.Config, row.GPUs, row.SkewUS, row.Elapsed)
 	}
-	return sp.String() + "\n" + tp.String() + "\n" + wt.String()
+	out := sp.String() + "\n" + tp.String() + "\n" + wt.String()
+	if len(r.AttribRows) > 0 {
+		at := metrics.NewTable("Resilience: CAIS time attribution under faults (class-averaged share of elapsed, %)",
+			"Fault family", "Severity",
+			"gpu:compute", "gpu:sync", "gpu:stall",
+			"plane:transit", "plane:merge", "plane:stall", "fault")
+		pct := func(v float64) string { return fmt.Sprintf("%.1f", v*100) }
+		for _, row := range r.AttribRows {
+			at.AddRow(row.Family, row.Severity,
+				pct(row.Compute), pct(row.SyncWait), pct(row.GPUStall),
+				pct(row.Transit), pct(row.Merge), pct(row.PlaneStall),
+				pct(row.FaultStall))
+		}
+		out += "\n" + at.String()
+	}
+	return out
+}
+
+// attribRow folds one CAIS report into the attribution section's row.
+func attribRow(family, severity string, rep *attrib.Report) ResilienceAttribRow {
+	return ResilienceAttribRow{
+		Family: family, Severity: severity,
+		Compute:    rep.ClassShare(attrib.ClassGPU, attrib.Compute),
+		SyncWait:   rep.ClassShare(attrib.ClassGPU, attrib.SyncWait),
+		GPUStall:   rep.ClassShare(attrib.ClassGPU, attrib.QueueStall),
+		Transit:    rep.ClassShare(attrib.ClassPlane, attrib.Transit),
+		Merge:      rep.ClassShare(attrib.ClassPlane, attrib.Merge),
+		PlaneStall: rep.ClassShare(attrib.ClassPlane, attrib.QueueStall),
+		FaultStall: (rep.ClassShare(attrib.ClassGPU, attrib.FaultStall) +
+			rep.ClassShare(attrib.ClassPlane, attrib.FaultStall)) / 2,
+	}
 }

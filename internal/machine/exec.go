@@ -11,8 +11,14 @@ import (
 
 // LaunchKernel starts kernel k on every GPU (SPMD) and wires TB-level
 // dependencies through the global tile tracker. onDone fires when the
-// kernel has retired on all GPUs.
+// kernel has retired on all GPUs. The kernel gets its own wave number
+// (LaunchAll batches share one).
 func (m *Machine) LaunchKernel(k *kernel.Kernel, onDone func()) {
+	m.nextWave++
+	m.launchKernel(k, m.nextWave, onDone)
+}
+
+func (m *Machine) launchKernel(k *kernel.Kernel, wave int, onDone func()) {
 	if err := k.Validate(); err != nil {
 		panic(err)
 	}
@@ -21,7 +27,7 @@ func (m *Machine) LaunchKernel(k *kernel.Kernel, onDone func()) {
 	groupBase := m.nextGroupBase
 	m.nextGroupBase += k.Grid
 
-	span := &KernelSpan{Name: k.Name, Kind: k.Kind, Start: m.Eng.Now()}
+	span := &KernelSpan{Name: k.Name, Kind: k.Kind, Wave: wave, Start: m.Eng.Now()}
 	m.KernelSpans = append(m.KernelSpans, span)
 	var traceID uint64
 	if m.tr.Enabled() {
@@ -88,6 +94,8 @@ func (m *Machine) Sequence(kernels []*kernel.Kernel, onDone func()) {
 
 // LaunchAll launches a set of kernels concurrently (they share the GPU per
 // their SM partitions) and calls onDone when every one of them finished.
+// The whole batch shares one wave number: the batch boundary is the
+// barrier the critical-path extraction chains spans across.
 func (m *Machine) LaunchAll(kernels []*kernel.Kernel, onDone func()) {
 	if len(kernels) == 0 {
 		if onDone != nil {
@@ -95,9 +103,11 @@ func (m *Machine) LaunchAll(kernels []*kernel.Kernel, onDone func()) {
 		}
 		return
 	}
+	m.nextWave++
+	wave := m.nextWave
 	remaining := len(kernels)
 	for _, k := range kernels {
-		m.LaunchKernel(k, func() {
+		m.launchKernel(k, wave, func() {
 			remaining--
 			if remaining == 0 && onDone != nil {
 				onDone()

@@ -86,15 +86,22 @@ type Machine struct {
 	// KernelSpans records per-kernel execution windows for reporting:
 	// earliest launch start to latest completion across GPUs.
 	KernelSpans []*KernelSpan
+	// nextWave numbers barrier-delimited launch batches: every kernel of
+	// one LaunchAll shares a wave, standalone launches get their own. The
+	// wave order is the dependency order the critical-path extraction in
+	// internal/attrib chains spans by.
+	nextWave int
 
-	reg *metrics.Registry
-	tr  *trace.Tracer
+	pkts *noc.PacketPool
+	reg  *metrics.Registry
+	tr   *trace.Tracer
 }
 
 // KernelSpan is one kernel's execution window across all GPUs.
 type KernelSpan struct {
 	Name  string
 	Kind  kernel.Kind
+	Wave  int      // barrier-delimited launch batch (see Machine.nextWave)
 	Start sim.Time // first launch start
 	End   sim.Time // last GPU's completion
 }
@@ -153,6 +160,7 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 	// packets recycle wherever they are terminally consumed, which is
 	// usually on the other side of the fabric from where they were built.
 	pkts := &noc.PacketPool{}
+	m.pkts = pkts
 	for g := 0; g < hw.NumGPUs; g++ {
 		m.GPUs = append(m.GPUs, gpu.New(eng, g, hw, m.routeAddr, m))
 		m.GPUs[g].SetGroupRouter(m.routeGroup)
@@ -304,6 +312,34 @@ func (m *Machine) registerGauges() {
 		return float64(n)
 	})
 	m.reg.GaugeFunc("machine.kernels_launched", func() float64 { return float64(len(m.KernelSpans)) })
+
+	// Free-list health: Get traffic, fresh allocations and idle entries per
+	// pool family. A steady-state run re-serves the same objects, so
+	// allocs plateauing while gets keep climbing is the healthy signature
+	// (DESIGN.md §10); these gauges surface it in -metrics-json.
+	m.reg.GaugeFunc("pool.packets.gets", func() float64 { g, _, _ := m.pkts.Stats(); return float64(g) })
+	m.reg.GaugeFunc("pool.packets.allocs", func() float64 { _, n, _ := m.pkts.Stats(); return float64(n) })
+	m.reg.GaugeFunc("pool.packets.idle", func() float64 { _, _, i := m.pkts.Stats(); return float64(i) })
+	gpuPools := func() (gets, news, idle int) {
+		for _, g := range m.GPUs {
+			pg, pn, pi := g.PoolStats()
+			gets, news, idle = gets+pg, news+pn, idle+pi
+		}
+		return
+	}
+	m.reg.GaugeFunc("pool.gpu.gets", func() float64 { g, _, _ := gpuPools(); return float64(g) })
+	m.reg.GaugeFunc("pool.gpu.allocs", func() float64 { _, n, _ := gpuPools(); return float64(n) })
+	m.reg.GaugeFunc("pool.gpu.idle", func() float64 { _, _, i := gpuPools(); return float64(i) })
+	swPools := func() (gets, news, idle int) {
+		for _, sw := range m.Switches {
+			sg, sn, si := sw.PoolStats()
+			gets, news, idle = gets+sg, news+sn, idle+si
+		}
+		return
+	}
+	m.reg.GaugeFunc("pool.nvswitch.gets", func() float64 { g, _, _ := swPools(); return float64(g) })
+	m.reg.GaugeFunc("pool.nvswitch.allocs", func() float64 { _, n, _ := swPools(); return float64(n) })
+	m.reg.GaugeFunc("pool.nvswitch.idle", func() float64 { _, _, i := swPools(); return float64(i) })
 }
 
 // Metrics exposes the machine's central metric registry.

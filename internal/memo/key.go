@@ -123,6 +123,8 @@ func (h *Hasher) options(o strategy.Options) {
 	}
 	h.U64(limit)
 	h.faults(o.Faults)
+	h.I64(int64(o.UtilBin))
+	h.Bool(o.Attrib)
 }
 
 // faults digests a fault schedule. An empty schedule is bit-identical to

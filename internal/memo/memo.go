@@ -30,6 +30,7 @@ package memo
 import (
 	"sync"
 
+	"cais/internal/attrib"
 	"cais/internal/metrics"
 	"cais/internal/nvswitch"
 	"cais/internal/sim"
@@ -48,6 +49,13 @@ type Entry struct {
 	// (Fig. 10's decomposition): the machine itself is not retained.
 	UpBytes   int64
 	DownBytes int64
+	// Timeline is the replayable utilization timeline recorded when the
+	// point ran with Options.UtilBin > 0 (Fig. 16). Shared across hits —
+	// read-only, like Telemetry.
+	Timeline metrics.UtilTimeline
+	// Attrib is the attribution report recorded under Options.Attrib
+	// (DESIGN.md §12). Shared across hits — read-only.
+	Attrib *attrib.Report
 }
 
 // Speedup reports other's elapsed time divided by e's (how much faster e
@@ -105,6 +113,19 @@ func (c *Cache) Len() int {
 		}
 	}
 	return n
+}
+
+// RegisterMetrics exposes the cache's counters in a metrics registry
+// (memo.* gauges in -metrics-json). GaugeFunc reads at snapshot time, so
+// one registration at startup reports end-of-sweep totals.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("memo.hits", func() float64 { return float64(c.hits.Value()) })
+	reg.GaugeFunc("memo.misses", func() float64 { return float64(c.misses.Value()) })
+	reg.GaugeFunc("memo.inflight_waits", func() float64 { return float64(c.inflight.Value()) })
+	reg.GaugeFunc("memo.entries", func() float64 { return float64(c.Len()) })
 }
 
 // Do returns the entry for key, computing it with fn on first use. A nil

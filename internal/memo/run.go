@@ -17,6 +17,8 @@ func entryOf(res strategy.Result) Entry {
 		AvgUtil:   res.AvgUtil,
 		MergeHWM:  res.MergeHWM,
 		Telemetry: res.Telemetry,
+		Timeline:  res.Timeline,
+		Attrib:    res.Attrib,
 	}
 	if res.Machine != nil {
 		e.UpBytes, e.DownBytes = res.Machine.DirectionTraffic()

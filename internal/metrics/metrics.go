@@ -77,6 +77,39 @@ func (s *UtilSeries) RecordBusy(start, end sim.Time, bytes int64) {
 // BinWidth reports the bin width.
 func (s *UtilSeries) BinWidth() sim.Time { return s.bin }
 
+// UtilTimeline is the value-type snapshot of a finished UtilSeries: a
+// replayable telemetry timeline the memo layer can cache and serve on
+// hits (DESIGN.md §12). A zero Bin marks "no timeline recorded". The Busy
+// slice is shared across cache hits — treat it as read-only.
+type UtilTimeline struct {
+	Bin   sim.Time
+	Links int
+	Busy  []sim.Time
+}
+
+// Timeline snapshots the series into its replayable value form.
+func (s *UtilSeries) Timeline() UtilTimeline {
+	return UtilTimeline{Bin: s.bin, Links: s.links, Busy: s.busy}
+}
+
+// IsZero reports whether no timeline was recorded.
+func (t UtilTimeline) IsZero() bool { return t.Bin == 0 }
+
+// Utilization returns per-bin utilization in [0, 1], identically to
+// UtilSeries.Utilization on the live recorder.
+func (t UtilTimeline) Utilization() []float64 {
+	out := make([]float64, len(t.Busy))
+	denom := float64(t.Bin) * float64(t.Links)
+	for i, b := range t.Busy {
+		u := float64(b) / denom
+		if u > 1 {
+			u = 1
+		}
+		out[i] = u
+	}
+	return out
+}
+
 // Utilization returns per-bin utilization in [0, 1]: busy time divided by
 // bin width times the number of links feeding the series.
 func (s *UtilSeries) Utilization() []float64 {

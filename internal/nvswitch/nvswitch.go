@@ -215,6 +215,23 @@ func (s *Switch) Summary() Summary { return s.stats.Summary() }
 // Port returns the merge unit of the given GPU-facing port.
 func (s *Switch) Port(gpu int) *MergeUnit { return s.port[gpu] }
 
+// PoolStats sums Get traffic, fresh allocations and idle entries across
+// the plane's typed free lists (NVLS reduction/pull sessions, sync
+// entries) and every port merge unit's (sessions, load tags). The shared
+// packet pool is excluded — the machine reports it once.
+func (s *Switch) PoolStats() (gets, news, idle int) {
+	add := func(pg, pn, pi int) { gets, news, idle = gets+pg, news+pn, idle+pi }
+	add(s.redSessions.Stats())
+	add(s.pullSessions.Stats())
+	add(s.syncEntries.Stats())
+	for _, port := range s.port {
+		add(port.sessPool.Stats())
+		add(port.respTags.Stats())
+		add(port.plainTags.Stats())
+	}
+	return
+}
+
 // SetFaultTolerant arms or disarms the failover protocol. The injector
 // enables it (on every plane) only for schedules containing a plane
 // failure, so all other runs keep today's strict, timeout-free NVLS

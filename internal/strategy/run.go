@@ -3,6 +3,7 @@ package strategy
 import (
 	"fmt"
 
+	"cais/internal/attrib"
 	"cais/internal/config"
 	"cais/internal/faults"
 	"cais/internal/kernel"
@@ -45,6 +46,16 @@ type Options struct {
 	// into the run (DESIGN.md §8). Nil or empty reproduces the unfaulted
 	// run bit-for-bit.
 	Faults *faults.Schedule
+	// UtilBin, when positive, records a binned link-utilization timeline
+	// over all links and returns it in Result.Timeline (Fig. 16). Unlike a
+	// Configure callback, this declarative form hashes into the memo key,
+	// so timeline-producing runs stay cacheable.
+	UtilBin sim.Time
+	// Attrib, when set, attaches an internal tracer and runs the time-
+	// attribution pass after completion (Result.Attrib, DESIGN.md §12).
+	// The tracer only observes — elapsed time and telemetry are identical
+	// with Attrib on or off.
+	Attrib bool
 }
 
 // Result is the outcome of one simulated run.
@@ -58,6 +69,10 @@ type Result struct {
 	// Telemetry is the machine-readable snapshot of every registered
 	// metric at run completion (-metrics-json).
 	Telemetry metrics.Snapshot
+	// Timeline is the binned utilization timeline (Options.UtilBin > 0).
+	Timeline metrics.UtilTimeline
+	// Attrib is the time-attribution report (Options.Attrib).
+	Attrib *attrib.Report
 }
 
 // Speedup reports other's elapsed time divided by r's (how much faster r
@@ -521,8 +536,22 @@ func newMachine(hw config.Hardware, spec Spec, opts Options) *machine.Machine {
 	})
 }
 
-func finish(spec Spec, m *machine.Machine, doneAt sim.Time) Result {
-	return Result{
+// observers resolves the declarative observability knobs. The internal
+// tracer must exist before machine assembly (GPU trace thread ids are
+// assigned at construction), so callers invoke this on the options copy
+// before newMachine and attach the returned recorder right after.
+func observers(hw config.Hardware, opts *Options) *metrics.UtilSeries {
+	if opts.Attrib && opts.Tracer == nil {
+		opts.Tracer = trace.New()
+	}
+	if opts.UtilBin > 0 {
+		return metrics.NewUtilSeries(opts.UtilBin, 2*hw.NumGPUs*hw.NumSwitchPlanes)
+	}
+	return nil
+}
+
+func finish(spec Spec, m *machine.Machine, doneAt sim.Time, opts Options, rec *metrics.UtilSeries) Result {
+	res := Result{
 		Strategy:  spec.Name,
 		Elapsed:   doneAt,
 		Stats:     m.SwitchStats(),
@@ -531,12 +560,23 @@ func finish(spec Spec, m *machine.Machine, doneAt sim.Time) Result {
 		Machine:   m,
 		Telemetry: m.Metrics().Snapshot(),
 	}
+	if rec != nil {
+		res.Timeline = rec.Timeline()
+	}
+	if opts.Attrib {
+		res.Attrib = attrib.Build(m, opts.Tracer, doneAt)
+	}
+	return res
 }
 
 // RunSubLayer executes one of the paper's communication-intensive
 // sub-layers (row-GEMM -> LN -> col-GEMM, Fig. 12) under the strategy.
 func RunSubLayer(hw config.Hardware, spec Spec, sub model.SubLayer, opts Options) (Result, error) {
+	rec := observers(hw, &opts)
 	m := newMachine(hw, spec, opts)
+	if rec != nil {
+		m.AttachRecorder(rec)
+	}
 	if opts.Configure != nil {
 		opts.Configure(m)
 	}
@@ -560,7 +600,7 @@ func RunSubLayer(hw config.Hardware, spec Spec, sub model.SubLayer, opts Options
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%s: %w", spec.Name, sub.ID, err)
 	}
-	return finish(spec, m, doneAt), nil
+	return finish(spec, m, doneAt, opts, rec), nil
 }
 
 // RunLayers executes n transformer layers (forward, plus backward when
@@ -575,7 +615,11 @@ func RunLayersOpts(hw config.Hardware, spec Spec, cfg config.Model, training boo
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	rec := observers(hw, &opts)
 	m := newMachine(hw, spec, opts)
+	if rec != nil {
+		m.AttachRecorder(rec)
+	}
 	if opts.Configure != nil {
 		opts.Configure(m)
 	}
@@ -600,5 +644,5 @@ func RunLayersOpts(hw config.Hardware, spec Spec, cfg config.Model, training boo
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%s: %w", spec.Name, cfg.Name, err)
 	}
-	return finish(spec, m, doneAt), nil
+	return finish(spec, m, doneAt, opts, rec), nil
 }

@@ -68,13 +68,23 @@ func FromEngine(eng *sim.Engine) *Tracer {
 	return t
 }
 
-// event phase bytes (Chrome trace-event "ph" field).
+// Event phase bytes (Chrome trace-event "ph" field), exported so offline
+// consumers (internal/attrib) can classify visited events.
 const (
-	phComplete   = 'X'
-	phInstant    = 'i'
-	phAsyncBegin = 'b'
-	phAsyncEnd   = 'e'
-	phCounter    = 'C'
+	PhaseComplete   byte = 'X'
+	PhaseInstant    byte = 'i'
+	PhaseAsyncBegin byte = 'b'
+	PhaseAsyncEnd   byte = 'e'
+	PhaseCounter    byte = 'C'
+)
+
+// Internal aliases keep the recording methods terse.
+const (
+	phComplete   = PhaseComplete
+	phInstant    = PhaseInstant
+	phAsyncBegin = PhaseAsyncBegin
+	phAsyncEnd   = PhaseAsyncEnd
+	phCounter    = PhaseCounter
 )
 
 type event struct {
@@ -199,6 +209,36 @@ func (t *Tracer) NameThread(pid, tid int32, name string) {
 		return
 	}
 	t.threads[int64(pid)<<32|int64(uint32(tid))] = name
+}
+
+// Event is the read-only view of one recorded trace event handed to Visit
+// callbacks. Dur is meaningful for PhaseComplete events only; ID pairs
+// PhaseAsyncBegin with its PhaseAsyncEnd.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte
+	Pid   int32
+	Tid   int32
+	Ts    sim.Time
+	Dur   sim.Time
+	ID    uint64
+}
+
+// Visit calls fn for every recorded event in recording order. It is
+// nil-receiver safe (a disabled tracer visits nothing), so offline
+// consumers need no enabled check.
+func (t *Tracer) Visit(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	for i := range t.events {
+		e := &t.events[i]
+		fn(Event{
+			Name: e.name, Cat: e.cat, Phase: e.ph,
+			Pid: e.pid, Tid: e.tid, Ts: e.ts, Dur: e.dur, ID: e.id,
+		})
+	}
 }
 
 // CountCategory reports how many events carry the given category (used by

@@ -152,6 +152,7 @@ func TestDisabledInstrumentationAllocatesNothing(t *testing.T) {
 		tr.BeginAsync(3, "kernel", "k", 1, 0)
 		tr.EndAsync(3, "kernel", "k", 1, 10)
 		tr.Counter(3, "merge.used", 5, 42)
+		tr.Visit(func(Event) {}) // the attribution reader is nil-safe too
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled tracer hot path allocates %v bytes-equiv/op, want 0", allocs)

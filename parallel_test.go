@@ -55,6 +55,43 @@ func TestParallelExperimentTablesByteIdentical(t *testing.T) {
 	}
 }
 
+// attribAt runs one experiment with an attribution aggregator attached at
+// the given worker count and returns the aggregator's rendered table plus
+// its JSON export.
+func attribAt(t *testing.T, id string, workers int) string {
+	t.Helper()
+	cfg := cais.QuickExperiments()
+	cfg.Workers = workers
+	cfg.Attrib = cais.NewAttribAggregator()
+	if _, err := cais.RunExperiment(id, cfg); err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, workers, err)
+	}
+	if cfg.Attrib.Len() == 0 {
+		t.Fatalf("%s (workers=%d): aggregator collected no points", id, workers)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Attrib.WriteJSON(&buf); err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, workers, err)
+	}
+	return cfg.Attrib.Render() + buf.String()
+}
+
+// TestParallelAttributionByteIdentical extends the ladder to the
+// attribution aggregator: per-point reports arrive in worker-completion
+// order, but the label-sorted fold must render byte-identically at
+// -parallel 1, 2 and GOMAXPROCS.
+func TestParallelAttributionByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig16", "fig13b"} {
+		ref := attribAt(t, id, 1)
+		for _, workers := range []int{2, 0} {
+			if got := attribAt(t, id, workers); got != ref {
+				t.Errorf("%s: attribution at workers=%d differs from sequential\nseq sha256 %x\npar sha256 %x",
+					id, workers, sha256.Sum256([]byte(ref)), sha256.Sum256([]byte(got)))
+			}
+		}
+	}
+}
+
 // pointDigest hashes everything observable about one sweep point: the
 // scalar results plus the full telemetry and trace byte streams.
 type pointDigest struct {

@@ -36,6 +36,9 @@ go test -run='^$' -bench=BenchmarkDisabledHotPath -benchmem ./internal/trace/
 echo "== resilience smoke (fault-injection degradation study, quick)"
 go run ./cmd/caissim -experiment resilience -quick
 
+echo "== attribution smoke (fig17 quick, JSON report)"
+go run ./cmd/caissim -experiment fig17 -quick -attrib-json attrib-report.json > /dev/null
+
 echo "== parallel sweep smoke (all experiments, quick, 4 workers)"
 go run ./cmd/caissim -experiment all -quick -parallel 4 > /dev/null
 
