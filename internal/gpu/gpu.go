@@ -296,8 +296,9 @@ func writesData(op noc.Op) bool {
 	switch op {
 	case noc.OpStore, noc.OpRedCAIS, noc.OpMultimemRed, noc.OpMultimemST:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 func mergeable(op noc.Op) bool {

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cacheSchemaVersion names the analyzer generation. Bump it whenever a
+// check's semantics change: cached diagnostics from an older analyzer
+// must never satisfy a newer gate — the same schema-versioning discipline
+// the memo cache applies to simulation points.
+const cacheSchemaVersion = "caislint/2"
+
+// Cache is the incremental-mode store: per-package diagnostics keyed by a
+// content hash covering the package's own files, the files of every
+// transitive module dependency, the policy configuration and the enabled
+// check set. A package whose key is unchanged is skipped entirely — no
+// parse, no type check, no analysis — which turns repeated CI and
+// pre-commit runs over a mostly-unchanged tree into hash comparisons.
+//
+// Dependencies are part of the key because the whole-module passes make
+// package results depend on dependency bodies: digestcover reads field
+// annotations from the digested structs' packages, taintwall follows
+// callees, exhaustive reads enum const blocks, and the type checker
+// itself sees dependency APIs.
+type Cache struct {
+	path    string
+	entries map[string]cacheEntry
+	keys    map[string]string // import path -> current content key
+	root    string
+	live    map[string]bool // packages seen this run (pruning)
+	Hits    int
+	Misses  int
+}
+
+type cacheEntry struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags"`
+}
+
+type cacheFile struct {
+	Version string                `json:"version"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// openCache loads (or initializes) the cache at path and computes the
+// current content key of every discovered module package. A missing,
+// unreadable or version-mismatched cache file degrades to an empty cache,
+// never an error: incremental mode must always be safe to enable.
+func openCache(path string, l *loader, policyFP string, checks []string) (*Cache, error) {
+	c := &Cache{
+		path:    path,
+		entries: map[string]cacheEntry{},
+		keys:    map[string]string{},
+		root:    l.root,
+		live:    map[string]bool{},
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		var cf cacheFile
+		if json.Unmarshal(data, &cf) == nil && cf.Version == cacheSchemaVersion && cf.Entries != nil {
+			c.entries = cf.Entries
+		}
+	}
+	if err := c.computeKeys(l, policyFP, checks); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// computeKeys hashes every discovered package and closes the hash over
+// the module-internal import graph.
+func (c *Cache) computeKeys(l *loader, policyFP string, checks []string) error {
+	paths := sortedKeys(l.dirs)
+	content := map[string]uint64{} // pkg -> hash of its own files
+	imports := map[string][]string{}
+	for _, ip := range paths {
+		h, imps, err := hashPackageDir(l.dirs[ip], l.module)
+		if err != nil {
+			return err
+		}
+		content[ip] = h
+		imports[ip] = imps
+	}
+	base := fmt.Sprintf("%s|%s|%s", cacheSchemaVersion, policyFP, strings.Join(checks, ","))
+	for _, ip := range paths {
+		closure := depClosure(ip, imports)
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d:%s", len(base), base)
+		for _, dep := range closure {
+			fmt.Fprintf(h, "%d:%s=%016x;", len(dep), dep, content[dep])
+		}
+		c.keys[ip] = fmt.Sprintf("%016x", h.Sum64())
+	}
+	return nil
+}
+
+// depClosure returns the sorted transitive module-internal dependency
+// closure of a package, itself included.
+func depClosure(ip string, imports map[string][]string) []string {
+	seen := map[string]bool{}
+	stack := []string{ip}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		stack = append(stack, imports[p]...)
+	}
+	return sortedKeys(seen)
+}
+
+// hashPackageDir hashes a package directory's buildable Go files and
+// collects its module-internal imports. Imports come from a lightweight
+// imports-only parse — no type checking.
+func hashPackageDir(dir, module string) (uint64, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	impSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return 0, nil, err
+		}
+		fmt.Fprintf(h, "%d:%s:%d:", len(n), n, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(fset, n, data, parser.ImportsOnly)
+		if err != nil {
+			continue // a syntax error surfaces later, from the real load
+		}
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if ip == module || strings.HasPrefix(ip, module+"/") {
+				impSet[ip] = true
+			}
+		}
+	}
+	return h.Sum64(), sortedKeys(impSet), nil
+}
+
+// get returns the cached diagnostics for a package when its key is
+// current, rebasing stored module-relative paths onto the current root.
+func (c *Cache) get(ip string) ([]Diagnostic, bool) {
+	c.live[ip] = true
+	e, ok := c.entries[ip]
+	if !ok || e.Key != c.keys[ip] {
+		c.Misses++
+		return nil, false
+	}
+	c.Hits++
+	out := make([]Diagnostic, len(e.Diags))
+	for i, d := range e.Diags {
+		d.File = filepath.Join(c.root, filepath.FromSlash(d.File))
+		out[i] = d
+	}
+	return out, true
+}
+
+// put stores a package's freshly computed diagnostics under its current
+// key, with file paths stored module-relative so the cache survives a
+// checkout moving.
+func (c *Cache) put(ip string, diags []Diagnostic) {
+	c.live[ip] = true
+	stored := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(c.root, d.File); err == nil {
+			d.File = filepath.ToSlash(rel)
+		}
+		stored[i] = d
+	}
+	c.entries[ip] = cacheEntry{Key: c.keys[ip], Diags: stored}
+}
+
+// save writes the cache back, dropping entries for packages that no
+// longer exist. Entries for packages outside this run's patterns are
+// kept — a scoped run must not evict the rest of the tree.
+func (c *Cache) save() error {
+	for _, ip := range sortedKeys(c.entries) {
+		if _, stillExists := c.keys[ip]; !stillExists {
+			delete(c.entries, ip)
+		}
+	}
+	data, err := json.MarshalIndent(cacheFile{Version: cacheSchemaVersion, Entries: c.entries}, "", "\t")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(c.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(c.path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// copyFixtureModule copies the fixture module into a temp dir so tests
+// can edit files and observe cache invalidation.
+func copyFixtureModule(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir("testdata/src", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel("testdata/src", path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// rewriteCacheEntry mutates one package's cached diagnostics in place,
+// keeping its key, so a subsequent hit is observable from the outside.
+func rewriteCacheEntry(t *testing.T, path, pkg string, diags []Diagnostic) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := cf.Entries[pkg]
+	if !ok {
+		t.Fatalf("cache has no entry for %s", pkg)
+	}
+	e.Diags = diags
+	cf.Entries[pkg] = e
+	out, err := json.Marshal(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalCache(t *testing.T) {
+	root := copyFixtureModule(t)
+	cachePath := filepath.Join(t.TempDir(), "caislint.json")
+	cfg := Config{Dir: root, CachePath: cachePath}
+
+	fresh, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) == 0 {
+		t.Fatal("fixture module produced no diagnostics")
+	}
+	cached, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Fatal("cached run differs from fresh run")
+	}
+
+	// Prove the second run actually served from the cache: plant a
+	// sentinel diagnostic under fixture/internal/pool's current key and
+	// watch it come back with its path rebased onto the module root.
+	sentinel := Diagnostic{File: "internal/pool/pool.go", Line: 1, Col: 1, Check: CheckRand, Msg: "sentinel from cache"}
+	rewriteCacheEntry(t, cachePath, "fixture/internal/pool", []Diagnostic{sentinel})
+	planted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range planted {
+		if d.Msg == sentinel.Msg {
+			found = true
+			if d.File != filepath.Join(root, "internal", "pool", "pool.go") {
+				t.Errorf("sentinel path = %s, want it rebased under the module root", d.File)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sentinel not served: the second run did not use the cache")
+	}
+
+	// Editing the package invalidates its entry (content hash changes),
+	// so the sentinel disappears and the true diagnostics return.
+	poolFile := filepath.Join(root, "internal", "pool", "pool.go")
+	data, err := os.ReadFile(poolFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(poolFile, append(data, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rewriteCacheEntry(t, cachePath, "fixture/internal/pool", []Diagnostic{sentinel})
+	after, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range after {
+		if d.Msg == sentinel.Msg {
+			t.Fatal("sentinel survived a package edit: stale cache entry served")
+		}
+	}
+	if !reflect.DeepEqual(fresh, after) {
+		t.Fatal("diagnostics after an inert edit differ from the fresh run")
+	}
+}
+
+// TestCacheDependencyInvalidation: editing a dependency must invalidate
+// its dependents — the whole-module passes read dependency bodies.
+func TestCacheDependencyInvalidation(t *testing.T) {
+	root := copyFixtureModule(t)
+	cachePath := filepath.Join(t.TempDir(), "caislint.json")
+	cfg := Config{Dir: root, CachePath: cachePath}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// fixture/internal/sim depends on fixture/internal/util (taintwall
+	// fixtures). Plant a sentinel for sim, then edit util.
+	sentinel := Diagnostic{File: "internal/sim/sim.go", Line: 1, Col: 1, Check: CheckTaintWall, Msg: "dep sentinel"}
+	utilFile := filepath.Join(root, "internal", "util", "util.go")
+	data, err := os.ReadFile(utilFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(utilFile, append(data, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rewriteCacheEntry(t, cachePath, "fixture/internal/sim", []Diagnostic{sentinel})
+	diags, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Msg == sentinel.Msg {
+			t.Fatal("editing a dependency did not invalidate the dependent package")
+		}
+	}
+}
+
+// TestCacheVersionAndCorruption: a version-mismatched or corrupt cache
+// file degrades to a full run instead of failing or serving stale data.
+func TestCacheVersionAndCorruption(t *testing.T) {
+	root := copyFixtureModule(t)
+	cachePath := filepath.Join(t.TempDir(), "caislint.json")
+	cfg := Config{Dir: root, CachePath: cachePath}
+	fresh, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Downgrade the version and plant a sentinel: the whole file must be
+	// discarded, so the sentinel never surfaces.
+	sentinel := Diagnostic{File: "internal/pool/pool.go", Line: 1, Col: 1, Check: CheckRand, Msg: "versioned sentinel"}
+	rewriteCacheEntry(t, cachePath, "fixture/internal/pool", []Diagnostic{sentinel})
+	data, err := os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	cf.Version = "caislint/0"
+	out, err := json.Marshal(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cachePath, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Msg == sentinel.Msg {
+			t.Fatal("version-mismatched cache entry served")
+		}
+	}
+	if !reflect.DeepEqual(fresh, diags) {
+		t.Fatal("full re-run after version mismatch differs from fresh run")
+	}
+
+	// Corrupt file: still a clean full run.
+	if err := os.WriteFile(cachePath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err = Run(cfg)
+	if err != nil {
+		t.Fatalf("corrupt cache file failed the run: %v", err)
+	}
+	if !reflect.DeepEqual(fresh, diags) {
+		t.Fatal("run with corrupt cache differs from fresh run")
+	}
+	// And the run rewrote it into a valid store.
+	data, err = os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &cf); err != nil || cf.Version != cacheSchemaVersion {
+		t.Fatalf("cache not rewritten after corruption: %v (version %q)", err, cf.Version)
+	}
+}
+
+func TestDepClosure(t *testing.T) {
+	imports := map[string][]string{
+		"a": {"b"},
+		"b": {"c", "b"},
+		"c": nil,
+	}
+	got := depClosure("a", imports)
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("depClosure(a) = %v, want %v", got, want)
+	}
+	if got := depClosure("c", imports); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("depClosure(c) = %v", got)
+	}
+}
+
+// BenchmarkLintModule measures a full whole-module analysis over the
+// fixture module — the end-to-end cost `make lint` pays per package tree
+// (load, type check, all registered passes).
+func BenchmarkLintModule(b *testing.B) {
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Dir: root}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -61,7 +61,7 @@ var randAllowed = map[string]bool{
 // checkRand forbids the global math/rand functions: only explicitly
 // seeded generators (sim.RNG, or *rand.Rand built via rand.New) keep runs
 // reproducible across processes and Go versions.
-func checkRand(p *Package, f *ast.File, rep reporter) {
+func checkRand(p *Package, f *ast.File, _ *resolved, rep reporter) {
 	ast.Inspect(f, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {

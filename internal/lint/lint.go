@@ -1,42 +1,45 @@
 // Package lint is caislint: a project-specific static analyzer that
-// enforces the simulator's determinism and unit-safety invariants. The
-// whole reproduction (event ordering, merge-session bookkeeping, telemetry
-// digests) is only meaningful if runs are bit-reproducible, so the checks
-// guard the properties reviewers cannot reliably eyeball:
+// enforces the simulator's determinism, unit-safety and cache-soundness
+// invariants. The whole reproduction (event ordering, merge-session
+// bookkeeping, telemetry digests, memoized simulation points) is only
+// meaningful if runs are bit-reproducible and cache keys cover every
+// semantically relevant input, so the checks guard the properties
+// reviewers cannot reliably eyeball.
 //
-//   - wallclock:  time.Now / time.Since / time.Until are forbidden outside
-//     cmd/ and internal/trace — simulated components must use sim.Engine
-//     time.
-//   - rand:      global math/rand functions are forbidden everywhere; only
-//     seeded generators (sim.RNG, *rand.Rand built via rand.New) flowing
-//     from configuration are allowed.
-//   - map-order: a `for range` over a map whose body is order-dependent
-//     (mutates state, schedules events, appends computed values, emits
-//     trace/metrics, accumulates floats) must iterate sorted keys instead.
-//   - units:     float→sim.Time conversions outside the audited helpers in
-//     internal/sim, and float64 accumulation of simulated-time values, are
-//     forbidden (truncation and non-associative float sums break digests).
-//   - poolreset: the free-list lifecycle discipline from internal/pool —
-//     every element type handed to a pool.Pool must carry a reset()
-//     method, and every Put(x) must have x.reset() as the immediately
-//     preceding statement, so no object re-enters a free list carrying
-//     state from its previous lifetime.
-//   - goroutine: `go` statements are forbidden in the engine packages
-//     (sim, gpu, nvswitch, noc, machine) — the simulator is
-//     single-threaded by design — and everywhere else outside the
-//     sanctioned concurrency sites (internal/sweep's bounded worker pool
-//     and cmd/): parallelism belongs in sweep.Map, which fans independent
-//     simulation points out and collects results by index.
+// The check catalog lives in registry.go; `caislint -list` prints it.
+// Local syntactic checks (wallclock, rand, map-order, units, goroutine,
+// poolreset) analyze one package at a time. Three whole-module passes
+// reason across package boundaries:
+//
+//   - digestcover: for each struct type consumed by a memo.Hasher digest
+//     method, every exported field must be written into the digest,
+//     passed to a nested digest call, or annotated
+//     `//caislint:nodigest <reason>` at its declaration; func-typed
+//     fields must additionally be guarded by memo.Cacheable. Adding a
+//     field to strategy.Options without updating internal/memo/key.go is
+//     a build-breaking diagnostic instead of a silent stale cache hit.
+//   - exhaustive: switches and map literals over enum-like const blocks
+//     (faults.Kind, attrib.Bucket, ...) must cover every declared
+//     constant or carry an explicit default.
+//   - taintwall: a transitive call-graph taint pass — a helper that
+//     wraps time.Now or the global math/rand source is flagged at every
+//     call site in simulated code, not just at its definition.
 //
 // Violations that are intentional carry a directive with a mandatory
 // reason:
 //
-//	//caislint:ignore <check> <reason>        (this line or the next)
-//	//caislint:file-ignore <check> <reason>   (whole file)
+//	//caislint:ignore <check>[,<check>...] <reason>   (this line, or the
+//	    line above — covering the full line range of the statement that
+//	    starts there)
+//	//caislint:file-ignore <check> <reason>           (whole file)
+//	//caislint:nodigest <reason>                      (in a struct field's
+//	    doc or trailing comment: deliberately excluded from the digest)
 //
 // The analyzer is pure stdlib (go/parser, go/ast, go/types, go/importer);
-// it type-checks the module from source so the unit-safety check sees real
-// types, not syntax.
+// it type-checks the module from source so the type-driven checks see
+// real types, not syntax. Incremental runs (Config.CachePath) reuse
+// per-package results keyed by content hashes of the package and its
+// transitive module dependencies.
 package lint
 
 import (
@@ -62,23 +65,26 @@ func (d Diagnostic) String() string {
 
 // Check names. "directive" covers malformed or unused directives.
 const (
-	CheckWallclock = "wallclock"
-	CheckRand      = "rand"
-	CheckMapOrder  = "map-order"
-	CheckUnits     = "units"
-	CheckGoroutine = "goroutine"
-	CheckPoolReset = "poolreset"
-	CheckDirective = "directive"
+	CheckWallclock   = "wallclock"
+	CheckRand        = "rand"
+	CheckMapOrder    = "map-order"
+	CheckUnits       = "units"
+	CheckGoroutine   = "goroutine"
+	CheckPoolReset   = "poolreset"
+	CheckDigestCover = "digestcover"
+	CheckExhaustive  = "exhaustive"
+	CheckTaintWall   = "taintwall"
+	CheckDirective   = "directive"
 )
 
-var knownChecks = map[string]bool{
-	CheckWallclock: true,
-	CheckRand:      true,
-	CheckMapOrder:  true,
-	CheckUnits:     true,
-	CheckGoroutine: true,
-	CheckPoolReset: true,
-}
+// knownChecks is the directive vocabulary, derived from the registry.
+var knownChecks = func() map[string]bool {
+	m := map[string]bool{}
+	for _, a := range registry {
+		m[a.Name] = true
+	}
+	return m
+}()
 
 // Config selects what to analyze and where the policy boundaries sit. The
 // zero value of every policy field derives a default from the module path,
@@ -89,6 +95,14 @@ type Config struct {
 	// Patterns are package patterns relative to Dir ("./...", ".",
 	// "./internal/..."). Empty means "./...".
 	Patterns []string
+	// Checks selects a subset of the registered analyzers by name.
+	// Empty means all.
+	Checks []string
+	// CachePath, when non-empty, enables incremental mode: per-package
+	// diagnostics are cached there keyed by content hashes of the
+	// package and its transitive module dependencies, so repeated runs
+	// skip unchanged packages entirely.
+	CachePath string
 
 	// TimeTypes are fully-qualified named types ("<pkg>.<Name>") treated
 	// as simulated time. Default: <module>/internal/sim.Time.
@@ -111,20 +125,26 @@ type Config struct {
 	// Pool whose lifecycle discipline the poolreset check enforces.
 	// Default: <module>/internal/pool.
 	PoolPackages []string
+	// DigestPackages are import paths whose Hasher methods define the
+	// memoization digest; digestcover analyzes the structs they consume.
+	// Default: <module>/internal/memo.
+	DigestPackages []string
 }
 
 // resolved is the config with module-path defaults filled in.
 type resolved struct {
+	module           string
 	timeTypes        map[string]bool
 	wallclockAllow   []string
 	enginePkgs       map[string]bool
 	concurrencyAllow []string
 	unitAllow        []string
 	poolPkgs         map[string]bool
+	digestPkgs       map[string]bool
 }
 
 func (c Config) resolve(module string) *resolved {
-	r := &resolved{timeTypes: map[string]bool{}, enginePkgs: map[string]bool{}}
+	r := &resolved{module: module, timeTypes: map[string]bool{}, enginePkgs: map[string]bool{}}
 	tt := c.TimeTypes
 	if len(tt) == 0 {
 		tt = []string{module + "/internal/sim.Time"}
@@ -161,7 +181,38 @@ func (c Config) resolve(module string) *resolved {
 	for _, p := range pp {
 		r.poolPkgs[p] = true
 	}
+	dp := c.DigestPackages
+	if len(dp) == 0 {
+		dp = []string{module + "/internal/memo"}
+	}
+	r.digestPkgs = map[string]bool{}
+	for _, p := range dp {
+		r.digestPkgs[p] = true
+	}
 	return r
+}
+
+// fingerprint renders the policy config canonically for cache keying: any
+// policy change invalidates every cached package.
+func (r *resolved) fingerprint() string {
+	var b strings.Builder
+	b.WriteString("module=" + r.module)
+	for _, part := range []struct {
+		name string
+		vals []string
+	}{
+		{"time", sortedKeys(r.timeTypes)},
+		{"wallclock", append([]string(nil), r.wallclockAllow...)},
+		{"engine", sortedKeys(r.enginePkgs)},
+		{"conc", append([]string(nil), r.concurrencyAllow...)},
+		{"unit", append([]string(nil), r.unitAllow...)},
+		{"pool", sortedKeys(r.poolPkgs)},
+		{"digest", sortedKeys(r.digestPkgs)},
+	} {
+		b.WriteString(";" + part.name + "=")
+		b.WriteString(strings.Join(part.vals, ","))
+	}
+	return b.String()
 }
 
 // pathAllowed reports whether an import path is covered by an allowlist
@@ -180,6 +231,10 @@ func pathAllowed(path string, allow []string) bool {
 // could not run (parse/type errors, bad patterns) — distinct from
 // violations, which arrive as diagnostics with a nil error.
 func Run(cfg Config) ([]Diagnostic, error) {
+	checks, err := selectAnalyzers(cfg.Checks)
+	if err != nil {
+		return nil, err
+	}
 	l, err := newLoader(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -193,14 +248,38 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		return nil, err
 	}
 	rc := cfg.resolve(l.module)
+	mod := newModState(l, rc)
+
+	var cache *Cache
+	if cfg.CachePath != "" {
+		cache, err = openCache(cfg.CachePath, l, rc.fingerprint(), checkNames(checks))
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var diags []Diagnostic
 	for _, path := range paths {
+		if cache != nil {
+			if cached, ok := cache.get(path); ok {
+				diags = append(diags, cached...)
+				continue
+			}
+		}
 		p, err := l.load(path)
 		if err != nil {
 			return nil, err
 		}
-		diags = append(diags, lintPackage(l.fset, p, rc)...)
+		pd := lintPackage(p, mod, checks)
+		diags = append(diags, pd...)
+		if cache != nil {
+			cache.put(path, pd)
+		}
+	}
+	if cache != nil {
+		if err := cache.save(); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -218,41 +297,60 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	return diags, nil
 }
 
+// checkNames lists analyzer names in registry order (cache key input).
+func checkNames(checks []*Analyzer) []string {
+	out := make([]string, len(checks))
+	for i, a := range checks {
+		out[i] = a.Name
+	}
+	return out
+}
+
 // reporter is the sink checks report into; suppression by directive
 // happens here.
 type reporter func(pos token.Pos, check, format string, args ...any)
 
-func lintPackage(fset *token.FileSet, p *Package, rc *resolved) []Diagnostic {
+func lintPackage(p *Package, mod *modState, checks []*Analyzer) []Diagnostic {
+	fset := p.Fset
 	var diags []Diagnostic
+	dirsByFile := map[string]*directiveSet{}
 	for _, f := range p.Files {
-		dirs, dirDiags := parseDirectives(fset, f)
+		ds, dirDiags := parseDirectives(fset, f)
+		ds.resolveRanges(fset, f)
 		diags = append(diags, dirDiags...)
-		rep := func(pos token.Pos, check, format string, args ...any) {
-			position := fset.Position(pos)
-			if dirs.suppressed(check, position.Line) {
-				return
-			}
-			diags = append(diags, Diagnostic{
-				File: position.Filename, Line: position.Line, Col: position.Column,
-				Check: check, Msg: fmt.Sprintf(format, args...),
-			})
+		dirsByFile[fset.Position(f.Pos()).Filename] = ds
+	}
+	rep := func(pos token.Pos, check, format string, args ...any) {
+		position := fset.Position(pos)
+		if ds := dirsByFile[position.Filename]; ds != nil && ds.suppressed(check, position.Line) {
+			return
 		}
-		checkWallclock(p, f, rc, rep)
-		checkRand(p, f, rep)
-		checkGoroutine(p, f, rc, rep)
-		checkUnits(p, f, rc, rep)
-		checkMapOrder(p, f, rep)
-		checkPoolReset(p, f, rc, rep)
-		diags = append(diags, dirs.unused(fset)...)
+		diags = append(diags, Diagnostic{
+			File: position.Filename, Line: position.Line, Col: position.Column,
+			Check: check, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	pass := &Pass{Pkg: p, rc: mod.rc, mod: mod, rep: rep}
+	ran := map[string]bool{}
+	for _, a := range checks {
+		a.run(pass)
+		ran[a.Name] = true
+	}
+	for _, name := range sortedKeys(dirsByFile) {
+		diags = append(diags, dirsByFile[name].unused(fset, ran)...)
 	}
 	return diags
 }
 
-// directive is one parsed //caislint: comment.
+// directive is one parsed //caislint: comment. A single ignore comment
+// naming several checks ("//caislint:ignore wallclock,rand reason")
+// expands into one directive per check, tracked individually so a stale
+// name inside a multi-check directive is still reported.
 type directive struct {
 	check    string
 	fileWide bool
 	line     int
+	covEnd   int // last line covered (resolved from statement extents)
 	pos      token.Pos
 	used     bool
 }
@@ -264,7 +362,10 @@ type directiveSet struct {
 // parseDirectives extracts caislint directives from a file's comments.
 // Malformed directives (unknown check, missing reason) are diagnostics
 // themselves: a suppression without a recorded reason is indistinguishable
-// from a shrug.
+// from a shrug. //caislint:nodigest annotations are validated here (their
+// package owns the malformed-annotation diagnostic) but consumed by the
+// digestcover pass, so they carry no suppression range and are exempt
+// from unused-directive tracking.
 func parseDirectives(fset *token.FileSet, f *ast.File) (*directiveSet, []Diagnostic) {
 	ds := &directiveSet{}
 	var diags []Diagnostic
@@ -292,44 +393,94 @@ func parseDirectives(fset *token.FileSet, f *ast.File) (*directiveSet, []Diagnos
 				continue
 			}
 			verb := fields[0]
-			if verb != "ignore" && verb != "file-ignore" {
-				bad(c.Pos(), "unknown caislint directive %q (want ignore or file-ignore)", verb)
+			switch verb {
+			case "nodigest":
+				if len(fields) < 2 {
+					bad(c.Pos(), "caislint:nodigest is missing its mandatory reason")
+				}
+				continue // consumed by digestcover via the field's position
+			case "ignore", "file-ignore":
+			default:
+				bad(c.Pos(), "unknown caislint directive %q (want ignore, file-ignore or nodigest)", verb)
 				continue
 			}
 			if len(fields) < 2 {
 				bad(c.Pos(), "caislint:%s needs a check name", verb)
 				continue
 			}
-			check := fields[1]
-			if !knownChecks[check] {
-				bad(c.Pos(), "caislint:%s names unknown check %q", verb, check)
+			names := strings.Split(fields[1], ",")
+			badName := false
+			for _, check := range names {
+				if !knownChecks[check] {
+					bad(c.Pos(), "caislint:%s names unknown check %q", verb, check)
+					badName = true
+				}
+			}
+			if badName {
 				continue
 			}
 			if len(fields) < 3 {
-				bad(c.Pos(), "caislint:%s %s is missing its mandatory reason", verb, check)
+				bad(c.Pos(), "caislint:%s %s is missing its mandatory reason", verb, fields[1])
 				continue
 			}
-			ds.list = append(ds.list, &directive{
-				check:    check,
-				fileWide: verb == "file-ignore",
-				line:     fset.Position(c.Pos()).Line,
-				pos:      c.Pos(),
-			})
+			line := fset.Position(c.Pos()).Line
+			for _, check := range names {
+				ds.list = append(ds.list, &directive{
+					check:    check,
+					fileWide: verb == "file-ignore",
+					line:     line,
+					covEnd:   line + 1,
+					pos:      c.Pos(),
+				})
+			}
 		}
 	}
 	return ds, diags
 }
 
+// resolveRanges widens each line directive to the full line range of the
+// statement (or declaration) starting on its own line or the line below,
+// so a directive above a multi-line statement suppresses diagnostics
+// anywhere inside it — not just on the first line. Bare blocks are not
+// extents of their own (a directive above `{` should not blanket the
+// block), and function declarations keep the narrow two-line coverage so
+// a directive above `func` never silently shadows a whole body.
+func (ds *directiveSet) resolveRanges(fset *token.FileSet, f *ast.File) {
+	lineOf := func(p token.Pos) int { return fset.Position(p).Line }
+	widen := func(start, end int) {
+		for _, d := range ds.list {
+			if d.fileWide {
+				continue
+			}
+			if (start == d.line || start == d.line+1) && end > d.covEnd {
+				d.covEnd = end
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt, *ast.FuncDecl, nil:
+			return true
+		case ast.Stmt:
+			widen(lineOf(n.Pos()), lineOf(n.End()))
+		case *ast.GenDecl:
+			widen(lineOf(n.Pos()), lineOf(n.End()))
+		}
+		return true
+	})
+}
+
 // suppressed reports whether a diagnostic for check at the given line is
 // covered: file-wide directives cover everything, line directives cover
-// their own line and the line directly below (comment-above placement).
+// the resolved line range of the statement they annotate (at minimum
+// their own line and the line directly below).
 func (ds *directiveSet) suppressed(check string, line int) bool {
 	hit := false
 	for _, d := range ds.list {
 		if d.check != check {
 			continue
 		}
-		if d.fileWide || d.line == line || d.line == line-1 {
+		if d.fileWide || (line >= d.line && line <= d.covEnd) {
 			d.used = true
 			hit = true
 		}
@@ -338,11 +489,13 @@ func (ds *directiveSet) suppressed(check string, line int) bool {
 }
 
 // unused reports directives that suppressed nothing — stale annotations
-// are themselves violations so the tree stays minimally annotated.
-func (ds *directiveSet) unused(fset *token.FileSet) []Diagnostic {
+// are themselves violations so the tree stays minimally annotated. A
+// directive is only known-stale when its check actually ran, so under
+// -checks subsetting the other checks' ignores are left alone.
+func (ds *directiveSet) unused(fset *token.FileSet, ran map[string]bool) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range ds.list {
-		if d.used {
+		if d.used || !ran[d.check] {
 			continue
 		}
 		position := fset.Position(d.pos)

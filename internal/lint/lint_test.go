@@ -136,12 +136,14 @@ func TestExpandPatterns(t *testing.T) {
 		want     []string
 	}{
 		{[]string{"./..."}, []string{
-			"fixture/cmd/tool", "fixture/internal/gpu", "fixture/internal/pool",
+			"fixture/cmd/tool", "fixture/internal/cfg", "fixture/internal/faults",
+			"fixture/internal/gpu", "fixture/internal/memo", "fixture/internal/pool",
 			"fixture/internal/sim", "fixture/internal/sweep", "fixture/internal/trace",
 			"fixture/internal/util",
 		}},
 		{[]string{"./internal/..."}, []string{
-			"fixture/internal/gpu", "fixture/internal/pool", "fixture/internal/sim",
+			"fixture/internal/cfg", "fixture/internal/faults", "fixture/internal/gpu",
+			"fixture/internal/memo", "fixture/internal/pool", "fixture/internal/sim",
 			"fixture/internal/sweep", "fixture/internal/trace", "fixture/internal/util",
 		}},
 		{[]string{"./internal/sim", "./cmd/tool"}, []string{

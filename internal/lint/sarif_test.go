@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSARIFShape pins the SARIF 2.1.0 surface consumers rely on: schema
+// and version, one rule per registered check plus the directive rule,
+// results referencing rules by id and index, and module-relative URIs
+// against the SRCROOT base.
+func TestSARIFShape(t *testing.T) {
+	root := filepath.Join("/", "repo")
+	diags := []Diagnostic{
+		{File: filepath.Join(root, "internal", "gpu", "gpu.go"), Line: 12, Col: 3, Check: CheckWallclock, Msg: "boom"},
+		{File: filepath.Join("/", "elsewhere", "x.go"), Line: 1, Col: 1, Check: CheckDirective, Msg: "stale"},
+	}
+	data, err := SARIF(diags, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version %q schema %q; want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "caislint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	wantRules := len(Analyzers()) + 1 // + the synthetic directive rule
+	if len(run.Tool.Driver.Rules) != wantRules {
+		t.Fatalf("got %d rules, want %d (registry + directive)", len(run.Tool.Driver.Rules), wantRules)
+	}
+	ruleAt := map[int]string{}
+	for i, r := range run.Tool.Driver.Rules {
+		ruleAt[i] = r.ID
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has an empty description", r.ID)
+		}
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(diags))
+	}
+	for i, res := range run.Results {
+		if res.RuleID != diags[i].Check {
+			t.Errorf("result %d ruleId %q, want %q", i, res.RuleID, diags[i].Check)
+		}
+		if ruleAt[res.RuleIndex] != res.RuleID {
+			t.Errorf("result %d ruleIndex %d resolves to %q, want %q", i, res.RuleIndex, ruleAt[res.RuleIndex], res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result %d level %q", i, res.Level)
+		}
+	}
+	// In-module path: relative URI under SRCROOT.
+	art := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation
+	if art.URI != "internal/gpu/gpu.go" || art.URIBaseID != "SRCROOT" {
+		t.Errorf("in-module artifact = %+v, want internal/gpu/gpu.go under SRCROOT", art)
+	}
+	if region := run.Results[0].Locations[0].PhysicalLocation.Region; region.StartLine != 12 || region.StartColumn != 3 {
+		t.Errorf("region = %+v, want 12:3", region)
+	}
+	// Out-of-module path: absolute URI, no base.
+	art = run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation
+	if art.URIBaseID != "" || !strings.HasSuffix(art.URI, "elsewhere/x.go") {
+		t.Errorf("out-of-module artifact = %+v, want absolute URI without a base", art)
+	}
+	if base, ok := run.OriginalURIBaseIDs["SRCROOT"]; !ok || !strings.HasPrefix(base.URI, "file://") {
+		t.Errorf("originalUriBaseIds = %+v, want a file:// SRCROOT", run.OriginalURIBaseIDs)
+	}
+}
+
+// TestSARIFEmpty keeps the empty log well-formed: rules present, results
+// an empty array (not null) so strict consumers accept it.
+func TestSARIFEmpty(t *testing.T) {
+	data, err := SARIF(nil, "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	runs := raw["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"].([]any)
+	if !ok {
+		t.Fatalf("results is %T, want an empty JSON array", runs[0].(map[string]any)["results"])
+	}
+	if len(results) != 0 {
+		t.Fatalf("empty log has %d results", len(results))
+	}
+}

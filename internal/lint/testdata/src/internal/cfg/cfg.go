@@ -1,0 +1,41 @@
+// Package cfg declares the struct types the fixture memo package
+// digests. The digestcover pass reads the //caislint:nodigest field
+// annotations from here — across the package boundary — when auditing
+// the digest functions in fixture/internal/memo.
+package cfg
+
+// Params is digested by memo's params method. Label is neither digested
+// nor annotated (a violation at the digest site); Note is deliberately
+// excluded with a reasoned annotation; Bad carries a reason-less
+// annotation, which is malformed (reported here) and not honored (so the
+// digest site is also flagged for it).
+type Params struct {
+	Width int
+	Depth int
+	Label string
+	Note  string //caislint:nodigest cosmetic note, display only
+	// lintwant+1:directive
+	Bad int //caislint:nodigest
+}
+
+// Hooks carries callbacks. Both are annotated as undigestable, but only
+// OnStart is guarded by memo.Cacheable — the missing OnFinish guard is
+// reported at every digest site that consumes Hooks.
+type Hooks struct {
+	Steps    uint64
+	OnStart  func() //caislint:nodigest opaque callback, guarded by Cacheable
+	OnFinish func() //caislint:nodigest opaque callback, guard missing on purpose
+}
+
+// Item is reached through a range variable inside memo's batch digest;
+// Tag is neither digested nor annotated.
+type Item struct {
+	ID   int
+	Name string //caislint:nodigest cosmetic label
+	Tag  string
+}
+
+// Batch is the slice carrier for Item.
+type Batch struct {
+	Items []Item
+}

@@ -21,6 +21,14 @@ package gpu
 // lintwant+1:directive
 //caislint:file-ignore units
 
+// An unknown name anywhere in a multi-check list poisons the directive.
+// lintwant+1:directive
+//caislint:ignore wallclock,nosuchcheck mixed list with an unknown check
+
+// Multi-check directives still need the mandatory trailing reason.
+// lintwant+1:directive
+//caislint:ignore wallclock,rand
+
 // A well-formed directive that suppresses nothing is stale.
 // lintwant+1:directive
 //caislint:ignore goroutine nothing here spawns a goroutine

@@ -1,0 +1,21 @@
+package sim
+
+import "fixture/internal/util"
+
+// Calls that transitively reach the wall clock or the global rand source
+// are violations inside simulated code; the diagnostic carries the
+// witness chain.
+
+// stampNow reaches time.Now through one hop (util.Stamp).
+func stampNow() int64 { return util.Stamp() } // lintwant:taintwall
+
+// stampTwo reaches it through two hops (util.StampTwice -> util.Stamp).
+func stampTwo() int64 { return util.StampTwice() } // lintwant:taintwall
+
+// jitter reaches the global rand source through util.Jitter.
+func jitter() float64 { return util.Jitter() } // lintwant:taintwall
+
+// banner is suppressed with a recorded reason.
+//
+//caislint:ignore taintwall startup banner, runs before the simulated timeline
+func banner() int64 { return stampNow() + stampTwo() + int64(jitter()) }

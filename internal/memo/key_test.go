@@ -1,11 +1,16 @@
 package memo
 
 import (
+	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"cais/internal/config"
 	"cais/internal/faults"
+	"cais/internal/lint"
 	"cais/internal/machine"
 	"cais/internal/model"
 	"cais/internal/sim"
@@ -153,5 +158,107 @@ func TestCacheable(t *testing.T) {
 	}
 	if Cacheable(strategy.Options{Tracer: trace.New()}) {
 		t.Error("Tracer must bypass the cache")
+	}
+}
+
+// copyModuleForMutation copies the module's buildable source (non-test
+// .go files plus go.mod, skipping nested test modules) into a temp dir
+// so a mutation can be applied without touching the checkout.
+func copyModuleForMutation(t *testing.T) string {
+	t.Helper()
+	src, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	err = filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", ".github":
+				return fs.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		keep := rel == "go.mod" ||
+			(strings.HasSuffix(rel, ".go") && !strings.HasSuffix(rel, "_test.go"))
+		if !keep {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestKeyMutationCaughtByLint is the mutation test closing the loop
+// between this package and caislint's digestcover pass: delete a single
+// field-digest line from key.go and the analyzer must report exactly that
+// field as uncovered. One mutation per Hasher digest method (hardware,
+// spec, options, and the fault range loop).
+func TestKeyMutationCaughtByLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a mutated module copy per case; skipped in -short")
+	}
+	mutations := []struct {
+		deleteLine string // unique substring of the line to delete
+		wantField  string // field the diagnostic must name
+	}{
+		{"h.F64(hw.LinkBandwidth)", "config.Hardware.LinkBandwidth"},
+		{"h.Bool(s.Throttled)", "strategy.Spec.Throttled"},
+		{"h.I64(int64(o.UtilBin))", "strategy.Options.UtilBin"},
+		{"h.F64(f.Factor)", "faults.Fault.Factor"},
+	}
+	for _, m := range mutations {
+		t.Run(m.wantField, func(t *testing.T) {
+			root := copyModuleForMutation(t)
+			keyPath := filepath.Join(root, "internal", "memo", "key.go")
+			data, err := os.ReadFile(keyPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(string(data), "\n")
+			kept := lines[:0]
+			removed := 0
+			for _, line := range lines {
+				if strings.Contains(line, m.deleteLine) {
+					removed++
+					continue
+				}
+				kept = append(kept, line)
+			}
+			if removed != 1 {
+				t.Fatalf("substring %q matched %d lines in key.go, want exactly 1", m.deleteLine, removed)
+			}
+			if err := os.WriteFile(keyPath, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			diags, err := lint.Run(lint.Config{
+				Dir:      root,
+				Patterns: []string{"./internal/memo"},
+				Checks:   []string{"digestcover"},
+			})
+			if err != nil {
+				t.Fatalf("lint.Run on mutated module: %v", err)
+			}
+			for _, d := range diags {
+				if d.Check == "digestcover" && strings.Contains(d.Msg, m.wantField) {
+					return
+				}
+			}
+			t.Fatalf("digestcover missed the deleted write of %s; diagnostics: %v", m.wantField, diags)
+		})
 	}
 }

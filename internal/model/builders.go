@@ -277,6 +277,8 @@ func (b *Builder) FusedGEMMRS(name string, m, n, kLocal int, scale float64, in I
 		redOp = v.Mode
 	case ReduceNVLSPush:
 		redOp = noc.OpMultimemRed
+	default:
+		// ReduceP2PStore keeps plain stores.
 	}
 
 	flops, localBytes := b.gemmTB(kLocal, scale)

@@ -89,8 +89,9 @@ func (o Op) IsControl() bool {
 	switch o {
 	case OpLoad, OpMultimemLdReduce, OpReadFan, OpLdCAIS, OpSyncRequest, OpSyncRelease, OpCredit:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Class is the virtual-channel traffic class. The paper's traffic control

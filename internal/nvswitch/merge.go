@@ -262,6 +262,7 @@ func (m *MergeUnit) HandleLoad(p *noc.Packet) {
 		// CAM hit on an active load session.
 		s.count++
 		s.lru = now
+		//caislint:ignore exhaustive the enclosing CAM-hit guard excludes Reduction sessions
 		switch s.state {
 		case LoadWait:
 			// Data still pending: append the request metadata to the

@@ -34,14 +34,14 @@ type Options struct {
 	StepLimit uint64
 	// Configure, when set, runs on the freshly assembled machine before
 	// any kernel launches (e.g. to attach utilization recorders).
-	Configure func(*machine.Machine)
+	Configure func(*machine.Machine) //caislint:nodigest opaque behavior; memo.Cacheable rejects runs that set it
 	// Tracer, when non-nil, records the run as a Perfetto-loadable event
 	// trace. Instrumentation stays disabled (zero-cost) when nil.
-	Tracer *trace.Tracer
+	Tracer *trace.Tracer //caislint:nodigest observer only; memo.Cacheable rejects runs that set it
 	// Progress, when set together with ProgressEvery, is invoked from the
 	// event loop every ProgressEvery engine steps (heartbeat logging).
-	Progress      func(now sim.Time, steps uint64)
-	ProgressEvery uint64
+	Progress      func(now sim.Time, steps uint64) //caislint:nodigest observer only; memo.Cacheable rejects runs that set it
+	ProgressEvery uint64                           //caislint:nodigest heartbeat cadence; does not affect simulated time
 	// Faults, when non-nil and non-empty, is the fault schedule injected
 	// into the run (DESIGN.md §8). Nil or empty reproduces the unfaulted
 	// run bit-for-bit.
@@ -268,6 +268,8 @@ func lowerColGEMM(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p 
 			ag = b.RingAllGather("ag."+op.Name, src, op.K, in, copies)
 		case AGP2PPush:
 			ag = b.P2PAllGather("ag."+op.Name, src, op.K, in, copies)
+		default:
+			panic("strategy: unreachable gather impl inside AGNVLS/AGRing/AGP2PPush case")
 		}
 		gemm := b.GEMM(op.Name, op.M, nLocal, op.K, scale,
 			func(g, mi, ni int) []kernel.Tile { return []kernel.Tile{copies.Tile(mi, g)} }, out)
@@ -367,6 +369,8 @@ func lowerRowGEMM(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p 
 			mode = model.ReduceP2PStore
 		case RedRSFusedNVLSPush:
 			mode = model.ReduceNVLSPush
+		default:
+			// RedRSFusedCAIS keeps ReduceCAIS.
 		}
 		k := b.FusedGEMMRS(op.Name, op.M, op.N, kLocal, scale, in,
 			mode, spec.coordination(), red, parts)

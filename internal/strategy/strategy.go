@@ -120,12 +120,14 @@ func (s Spec) UsesNVLS() bool {
 	switch s.Gather {
 	case AGNVLS, AGFusedCAIS:
 		return true
+	default:
 	}
 	switch s.Reduce {
 	case RedARNVLS, RedRSNVLSPull, RedRSFusedCAIS, RedRSFusedNVLSPush:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // The paper's configurations.

@@ -25,7 +25,7 @@ out="${BENCH_OUT:-BENCH_$(date -u +%Y%m%d).json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-pkgs="./internal/sim/ ./internal/trace/ ./internal/metrics/"
+pkgs="./internal/sim/ ./internal/trace/ ./internal/metrics/ ./internal/lint/"
 if [ "$quick" = 0 ]; then
 	pkgs=". $pkgs"
 fi

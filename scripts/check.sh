@@ -21,8 +21,8 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== caislint (determinism & unit safety)"
-go run ./cmd/caislint ./...
+echo "== caislint (determinism, unit safety, cache soundness; incremental)"
+go run ./cmd/caislint -cache .caislint-cache.json ./...
 
 echo "== go test"
 go test ./...
