@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint lint-fast lint-sarif race resilience-smoke parallel-smoke attrib-smoke bench bench-quick bench-diff clean
+.PHONY: all build test check vet fmt lint lint-fast lint-sarif race resilience-smoke parallel-smoke attrib-smoke serving-smoke bench bench-quick bench-diff clean
 
 all: check
 
@@ -32,6 +32,12 @@ parallel-smoke: build
 attrib-smoke: build
 	$(GO) run ./cmd/caissim -experiment fig17 -quick -attrib-json attrib-report.json
 
+# serving-smoke: the request-level serving study (DESIGN.md §13) at reduced
+# fidelity on a 4-worker pool — continuous batching, SLO/goodput evaluation
+# and the memoized cost anchors, end to end through the CLI.
+serving-smoke: build
+	$(GO) run ./cmd/caissim -experiment serving -quick -parallel 4
+
 vet:
 	$(GO) vet ./...
 
@@ -57,7 +63,7 @@ fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet lint test race resilience-smoke attrib-smoke
+check: fmt vet lint test race resilience-smoke attrib-smoke serving-smoke
 
 # bench: the full benchmark suite (experiment drivers, engine hot path,
 # tracer, metrics) via scripts/bench.sh, which writes a dated

@@ -184,6 +184,26 @@ func BenchmarkTable2ScaledDown(b *testing.B) {
 	b.ReportMetric(full, "CAIS-speedup-full-scale")
 }
 
+// BenchmarkServingSweep regenerates the request-level serving study: the
+// reported metric is CAIS goodput at the fault-study rate — the headline
+// number the serving tables exist to produce. Registered in scripts/bench.sh's
+// full suite (root package), so `make bench-diff` guards its cost.
+func BenchmarkServingSweep(b *testing.B) {
+	var goodput float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Serving(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.FaultRows {
+			if row.Scenario == "healthy" && row.Strategy == "CAIS" {
+				goodput = row.Sum.GoodputRPS
+			}
+		}
+	}
+	b.ReportMetric(goodput, "CAIS-goodput-rps")
+}
+
 func BenchmarkAblationEviction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationEviction(benchConfig()); err != nil {

@@ -25,6 +25,7 @@ import (
 	"cais/internal/memo"
 	"cais/internal/metrics"
 	"cais/internal/model"
+	"cais/internal/serve"
 	"cais/internal/sim"
 	"cais/internal/strategy"
 	"cais/internal/trace"
@@ -86,6 +87,18 @@ type (
 	// MetricsRegistry registers named counters and gauges and snapshots
 	// them into Telemetry.
 	MetricsRegistry = metrics.Registry
+	// ServingWorkload is an open-loop request-arrival workload for the
+	// serving engine (DESIGN.md §13).
+	ServingWorkload = serve.Workload
+	// ServingLengthDist is a prompt/output token-length distribution;
+	// build one with ServingFixed or ServingUniform.
+	ServingLengthDist = serve.LengthDist
+	// ServingResult is one serving run's completed request trace.
+	ServingResult = serve.Result
+	// ServingSLO is a latency service-level objective for EvaluateServing.
+	ServingSLO = serve.SLO
+	// ServingSummary is the SLO/goodput evaluation of a serving run.
+	ServingSummary = serve.Summary
 )
 
 // NewTracer creates an enabled event tracer. Pass it via RunOptions.Tracer
@@ -180,6 +193,30 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // RegisterMemoMetrics exposes a memo cache's hit/miss/single-flight
 // counters in a registry as memo.* gauges.
 func RegisterMemoMetrics(c *MemoCache, reg *MetricsRegistry) { c.RegisterMetrics(reg) }
+
+// ServingFixed returns a length distribution yielding v tokens always.
+func ServingFixed(v int) ServingLengthDist { return serve.Fixed(v) }
+
+// ServingUniform returns a uniform length distribution over [lo, hi] tokens.
+func ServingUniform(lo, hi int) ServingLengthDist { return serve.Uniform(lo, hi) }
+
+// RunServing drives the continuous-batching scheduler over the workload,
+// pricing iterations by memoized strategy-layer anchor simulations: layers
+// is the per-anchor simulated depth, cache may be nil (a private cache
+// still collapses repeated shapes). See DESIGN.md §13.
+func RunServing(hw Hardware, s Strategy, m Model, layers int, w ServingWorkload, cache *MemoCache) (ServingResult, error) {
+	cm, err := serve.NewStrategyCost(hw, s, m, layers, RunOptions{}, cache)
+	if err != nil {
+		return ServingResult{}, err
+	}
+	return serve.Run(w, cm, serve.SchedConfig{})
+}
+
+// EvaluateServing computes latency order statistics, throughput and goodput
+// for a completed serving run under the SLO.
+func EvaluateServing(res ServingResult, slo ServingSLO) ServingSummary {
+	return serve.Evaluate(res, slo)
+}
 
 // DefaultExperiments returns the full-fidelity experiment configuration.
 func DefaultExperiments() ExperimentConfig { return experiments.Default() }

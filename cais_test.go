@@ -50,6 +50,27 @@ func TestFacadeSubLayer(t *testing.T) {
 	}
 }
 
+func TestFacadeServing(t *testing.T) {
+	w := cais.ServingWorkload{
+		Requests:   8,
+		RatePerSec: 500,
+		Prompt:     cais.ServingUniform(32, 64),
+		Output:     cais.ServingUniform(2, 4),
+		Seed:       7,
+	}
+	res, err := cais.RunServing(fastHW(), cais.CAIS(), tiny(), 1, w, cais.NewMemoCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != w.Requests {
+		t.Fatalf("completed %d requests, want %d", len(res.Requests), w.Requests)
+	}
+	sum := cais.EvaluateServing(res, cais.ServingSLO{})
+	if sum.SLOMet != w.Requests || sum.GoodputRPS <= 0 {
+		t.Fatalf("unbounded SLO: met %d/%d, goodput %g", sum.SLOMet, sum.Requests, sum.GoodputRPS)
+	}
+}
+
 func TestFacadeStrategyCatalog(t *testing.T) {
 	if len(cais.Strategies()) != 11 {
 		t.Fatalf("strategies = %d, want 11", len(cais.Strategies()))
@@ -62,8 +83,8 @@ func TestFacadeStrategyCatalog(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	names := cais.ExperimentNames()
-	if len(names) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(names))
+	if len(names) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(names))
 	}
 	out, err := cais.RunExperiment("table1", cais.QuickExperiments())
 	if err != nil {

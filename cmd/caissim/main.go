@@ -7,6 +7,7 @@
 //	caissim -experiment fig11            # regenerate one figure/table
 //	caissim -experiment all              # regenerate everything
 //	caissim -experiment fig14 -quick     # reduced fidelity (fast)
+//	caissim -experiment serving -arrival-rate 25 -slo 500   # serving study
 //	caissim -list                        # list experiment IDs
 //	caissim -strategy CAIS -model llama-7b -layers 1 -training
 //	caissim -strategy CAIS -model llama-7b -trace out.json   # Perfetto trace
@@ -41,6 +42,8 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "RNG seed for simulated jitter (0 = built-in default)")
 		parallel   = flag.Int("parallel", 0, "sweep worker pool size for experiments (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any value")
 		noMemo     = flag.Bool("no-memo", false, "disable cross-sweep point memoization; every experiment point simulates cold (output is byte-identical either way)")
+		arrival    = flag.Float64("arrival-rate", 0, "serving experiment: collapse the arrival-rate sweep to this rate in requests/second (0 = built-in sweep)")
+		sloMs      = flag.Float64("slo", 0, "serving experiment: end-to-end latency SLO in milliseconds (0 = fidelity default)")
 		faultsFile = flag.String("faults", "", "JSON fault-injection schedule (strategy runs; see DESIGN.md §8)")
 		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (strategy runs)")
 		metricsOut = flag.String("metrics-json", "", "write the metric snapshot as JSON to this file (per-run for -strategy; sweep-level memo/cache counters for experiments)")
@@ -100,6 +103,7 @@ func main() {
 		}
 		runExperiments(experimentRun{
 			id: *experiment, quick: *quick, seed: *seed, workers: *parallel, noMemo: *noMemo,
+			arrivalRate: *arrival, sloMs: *sloMs,
 			metricsOut: *metricsOut,
 			attrib:     *attribOn, attribJSON: *attribJSON, attribTrace: *attribTr,
 		})
@@ -123,6 +127,9 @@ type experimentRun struct {
 	workers int
 	noMemo  bool
 
+	arrivalRate float64
+	sloMs       float64
+
 	metricsOut  string
 	attrib      bool
 	attribJSON  string
@@ -142,6 +149,13 @@ func runExperiments(r experimentRun) {
 	// shared TP-NVLS / CAIS anchors) simulate once under -experiment all.
 	if !r.noMemo {
 		cfg.Memo = cais.NewMemoCache()
+	}
+	cfg.ServingRate = r.arrivalRate
+	cfg.ServingSLOMs = r.sloMs
+	// The serving driver records per-request latency histograms into
+	// cfg.Metrics; the memo gauges join the same snapshot below.
+	if r.metricsOut != "" {
+		cfg.Metrics = cais.NewMetricsRegistry()
 	}
 	if r.attrib || r.attribJSON != "" || r.attribTrace != "" {
 		cfg.Attrib = cais.NewAttribAggregator()
@@ -189,13 +203,12 @@ func runExperiments(r experimentRun) {
 		fmt.Fprintf(os.Stderr, "wrote attribution Chrome trace to %s\n", r.attribTrace)
 	}
 	if r.metricsOut != "" {
-		reg := cais.NewMetricsRegistry()
-		cais.RegisterMemoMetrics(cfg.Memo, reg)
-		if err := writeMetrics(r.metricsOut, reg.Snapshot()); err != nil {
+		cais.RegisterMemoMetrics(cfg.Memo, cfg.Metrics)
+		if err := writeMetrics(r.metricsOut, cfg.Metrics.Snapshot()); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d metrics to %s\n", reg.Snapshot().Len(), r.metricsOut)
+		fmt.Fprintf(os.Stderr, "wrote %d metrics to %s\n", cfg.Metrics.Snapshot().Len(), r.metricsOut)
 	}
 	if cfg.Memo != nil {
 		fmt.Fprintf(os.Stderr, "[memo: %d lookups, %d served from cache, %d points simulated]\n",

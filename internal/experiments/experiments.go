@@ -11,6 +11,7 @@ import (
 	"cais/internal/attrib"
 	"cais/internal/config"
 	"cais/internal/memo"
+	"cais/internal/metrics"
 	"cais/internal/sim"
 	"cais/internal/sweep"
 )
@@ -43,6 +44,22 @@ type Config struct {
 	// invocation. Nil disables memoization (caissim -no-memo); output bytes
 	// are identical either way, only the run count changes.
 	Memo *memo.Cache
+
+	// ServingRate, when positive, collapses the serving experiment's
+	// arrival-rate sweep to this single rate in requests/second (caissim
+	// -arrival-rate).
+	ServingRate float64
+
+	// ServingSLOMs, when positive, overrides the serving experiment's
+	// end-to-end latency SLO in milliseconds (caissim -slo).
+	ServingSLOMs float64
+
+	// Metrics, when set, receives per-request serving latency histograms
+	// (serve.*_us) from the serving experiment's sequential fold; caissim
+	// exports the snapshot through -metrics-json. Registries are not
+	// goroutine-safe, so drivers record only during the fold, never from
+	// sweep workers.
+	Metrics *metrics.Registry
 
 	// Attrib, when set, collects a time-attribution report for every
 	// simulation point the drivers run (caissim -attrib, DESIGN.md §12).
@@ -146,6 +163,9 @@ func Registry() map[string]Runner {
 
 		// Fault-injection degradation study (DESIGN.md §8).
 		"resilience": func(c Config) (string, error) { r, err := Resilience(c); return render(r, err) },
+
+		// Request-level serving workload study (DESIGN.md §13).
+		"serving": func(c Config) (string, error) { r, err := Serving(c); return render(r, err) },
 
 		// Design-choice ablations beyond the paper's figures.
 		"ablation-eviction": func(c Config) (string, error) { r, err := AblationEviction(c); return render(r, err) },

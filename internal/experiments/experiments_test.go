@@ -9,7 +9,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 	want := []string{"table1", "fig2", "fig11", "fig12", "fig13a", "fig13b",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "table2", "area", "fig10",
 		"ablation-eviction", "ablation-sideband", "ablation-granularity",
-		"resilience"}
+		"resilience", "serving"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {

@@ -16,8 +16,11 @@ import (
 // hits, and each must render byte-identically with the cache hot or cold.
 // Table II rides along to cover the RunLayers key path. Fig. 16 joins the
 // set now that its utilization timeline is a replayable memo artifact
-// (Options.UtilBin) instead of a cache-bypassing Configure callback.
-var memoExperiments = []string{"fig13b", "fig16", "table2", "resilience"}
+// (Options.UtilBin) instead of a cache-bypassing Configure callback. The
+// serving study joins for its anchor shapes: quantized (strategy, token)
+// anchors repeat across arrival rates and fault scenarios, so the driver
+// must both hit the shared cache and render byte-identically without one.
+var memoExperiments = []string{"fig13b", "fig16", "table2", "resilience", "serving"}
 
 // runAll renders the memo-sensitive experiments under one configuration
 // and returns the concatenated output.

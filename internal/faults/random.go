@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"cais/internal/sim"
+)
+
+// CampaignSpec parameterizes RandomSchedule: a deterministic Monte-Carlo
+// fault mix for resilience campaigns that want "some plausible mess" rather
+// than a hand-picked scenario. All randomness comes from the caller's
+// seeded generator (sim.NewStreamRNG), so a (seed, spec, topology) triple
+// always yields the same schedule.
+type CampaignSpec struct {
+	// Faults is how many faults to draw (default 4).
+	Faults int
+	// Horizon bounds onset times: each fault starts uniformly in
+	// [0, Horizon). Zero means every fault starts at t=0 (steady-state
+	// degradation, the serving study's use).
+	Horizon sim.Time
+	// MaxDeadPlanes caps permanent plane kills (default: planes-1; the
+	// validator requires at least one survivor regardless).
+	MaxDeadPlanes int
+}
+
+// RandomSchedule draws a Validate-clean fault schedule from rng: a mix of
+// link degradations, stragglers, merge-unit disables, transient link-down
+// windows and (topology permitting) permanent plane kills. The draw order
+// is fixed, so the schedule is a pure function of the generator state and
+// the arguments.
+func RandomSchedule(rng *sim.RNG, name string, numGPUs, numPlanes int, spec CampaignSpec) *Schedule {
+	n := spec.Faults
+	if n <= 0 {
+		n = 4
+	}
+	maxDead := spec.MaxDeadPlanes
+	if maxDead <= 0 || maxDead >= numPlanes {
+		maxDead = numPlanes - 1
+	}
+	onset := func() sim.Time {
+		if spec.Horizon <= 0 {
+			return 0
+		}
+		return rng.Between(0, spec.Horizon-1)
+	}
+	s := &Schedule{Name: name}
+	dead := 0
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0: // all-link bandwidth degradation, 25-75% loss
+			s.Faults = append(s.Faults, Fault{
+				Kind: LinkDegrade, At: onset(), Plane: All, GPU: All,
+				Factor: 0.25 + 0.5*rng.Float64(),
+			})
+		case 1: // one straggler GPU at 1.25-3x slowdown
+			s.Faults = append(s.Faults, Fault{
+				Kind: Straggler, At: onset(), Plane: All, GPU: rng.Intn(numGPUs),
+				Factor: 1.25 + 1.75*rng.Float64(),
+			})
+		case 2: // merge units off on one plane
+			s.Faults = append(s.Faults, Fault{
+				Kind: MergeDisable, At: onset(), Plane: rng.Intn(numPlanes), GPU: All,
+			})
+		case 3: // transient link-down window (repair mandatory)
+			s.Faults = append(s.Faults, Fault{
+				Kind: LinkDown, At: onset(), For: rng.Between(sim.Microsecond, 64*sim.Microsecond),
+				Plane: rng.Intn(numPlanes), GPU: rng.Intn(numGPUs), Dir: Dir(rng.Intn(3)),
+			})
+		default: // permanent plane kill, budget permitting; else degrade
+			if dead < maxDead {
+				// Kill a specific plane once; duplicates are invalid, so
+				// kill planes in ascending order regardless of the draw.
+				s.Faults = append(s.Faults, Fault{Kind: PlaneDown, At: onset(), Plane: dead, GPU: All})
+				dead++
+			} else {
+				s.Faults = append(s.Faults, Fault{
+					Kind: LinkDegrade, At: onset(), Plane: All, GPU: All,
+					Factor: 0.25 + 0.5*rng.Float64(),
+				})
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"cais/internal/sim"
+)
+
+// TestRandomScheduleDeterministic pins the Monte-Carlo generator's
+// contract: the same (seed, stream, spec, topology) always yields the same
+// schedule, byte for byte.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	gen := func() *Schedule {
+		rng := sim.NewStreamRNG(0xCA15, "faults/campaign")
+		return RandomSchedule(rng, "campaign", 8, 4, CampaignSpec{Faults: 8, Horizon: 100 * sim.Microsecond})
+	}
+	a, b := gen(), gen()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%+v\n%+v", a, b)
+	}
+	rng := sim.NewStreamRNG(0xBEEF, "faults/campaign")
+	c := RandomSchedule(rng, "campaign", 8, 4, CampaignSpec{Faults: 8, Horizon: 100 * sim.Microsecond})
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Error("different seeds produced identical fault lists")
+	}
+}
+
+// TestRandomScheduleAlwaysValid sweeps many seeds and topologies and
+// requires every generated schedule to pass Validate — including the
+// at-least-one-surviving-plane rule under heavy plane-kill pressure.
+func TestRandomScheduleAlwaysValid(t *testing.T) {
+	topos := []struct{ gpus, planes int }{{8, 4}, {4, 2}, {2, 1}, {16, 8}}
+	for _, topo := range topos {
+		for seed := uint64(0); seed < 64; seed++ {
+			rng := sim.NewStreamRNG(seed, "faults/campaign")
+			s := RandomSchedule(rng, "campaign", topo.gpus, topo.planes, CampaignSpec{
+				Faults: 12, Horizon: 50 * sim.Microsecond,
+			})
+			if len(s.Faults) != 12 {
+				t.Fatalf("topo %+v seed %d: %d faults, want 12", topo, seed, len(s.Faults))
+			}
+			if err := s.Validate(topo.gpus, topo.planes); err != nil {
+				t.Fatalf("topo %+v seed %d: invalid schedule: %v\n%+v", topo, seed, err, s.Faults)
+			}
+		}
+	}
+}
+
+// TestRandomScheduleZeroHorizon checks the steady-state mode used by the
+// serving study: every onset is t=0.
+func TestRandomScheduleZeroHorizon(t *testing.T) {
+	rng := sim.NewStreamRNG(1, "faults/campaign")
+	s := RandomSchedule(rng, "steady", 8, 4, CampaignSpec{Faults: 10})
+	for i, f := range s.Faults {
+		if f.At != 0 {
+			t.Errorf("fault %d onset %v, want 0 (zero horizon)", i, f.At)
+		}
+	}
+	if err := s.Validate(8, 4); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}

@@ -84,7 +84,7 @@ func checkRand(p *Package, f *ast.File, _ *resolved, rep reporter) {
 			}
 		}
 		rep(sel.Pos(), CheckRand,
-			"rand.%s uses the unseeded global source; use sim.RNG or a *rand.Rand seeded from the run configuration",
+			"rand.%s uses the unseeded global source; use sim.RNG (sim.NewRNG or a labeled sim.NewStreamRNG stream) or a *rand.Rand seeded from the run configuration",
 			sel.Sel.Name)
 		return true
 	})

@@ -138,13 +138,14 @@ func TestExpandPatterns(t *testing.T) {
 		{[]string{"./..."}, []string{
 			"fixture/cmd/tool", "fixture/internal/cfg", "fixture/internal/faults",
 			"fixture/internal/gpu", "fixture/internal/memo", "fixture/internal/pool",
-			"fixture/internal/sim", "fixture/internal/sweep", "fixture/internal/trace",
-			"fixture/internal/util",
+			"fixture/internal/serve", "fixture/internal/sim", "fixture/internal/sweep",
+			"fixture/internal/trace", "fixture/internal/util",
 		}},
 		{[]string{"./internal/..."}, []string{
 			"fixture/internal/cfg", "fixture/internal/faults", "fixture/internal/gpu",
-			"fixture/internal/memo", "fixture/internal/pool", "fixture/internal/sim",
-			"fixture/internal/sweep", "fixture/internal/trace", "fixture/internal/util",
+			"fixture/internal/memo", "fixture/internal/pool", "fixture/internal/serve",
+			"fixture/internal/sim", "fixture/internal/sweep", "fixture/internal/trace",
+			"fixture/internal/util",
 		}},
 		{[]string{"./internal/sim", "./cmd/tool"}, []string{
 			"fixture/cmd/tool", "fixture/internal/sim",

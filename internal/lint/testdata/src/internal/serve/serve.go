@@ -1,0 +1,22 @@
+// Package serve mirrors the real serving-engine package: every random draw
+// must come from an explicitly seeded generator (sim.NewStreamRNG in the
+// real tree) — reaching for the global math/rand source would break the
+// workload engine's replay-bit-identically contract.
+package serve
+
+import "math/rand"
+
+// Arrivals draws inter-arrival gaps. The seeded generator is sanctioned;
+// topping it up from the global source is exactly the bug the check exists
+// to catch.
+func Arrivals(n int) []float64 {
+	r := rand.New(rand.NewSource(0xCA15)) // seeded constructor: allowed
+	gaps := make([]float64, n)
+	for i := range gaps {
+		gaps[i] = r.ExpFloat64() // method on *rand.Rand: allowed
+	}
+	if n > 0 {
+		gaps[0] += rand.ExpFloat64() // lintwant:rand
+	}
+	return gaps
+}

@@ -234,11 +234,58 @@ func (h *Hist) Max() float64 {
 	return h.max
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the weighted
+// distribution from the power-of-two buckets: it walks the bucket CDF to
+// the crossing bucket and interpolates linearly within it, clamping to the
+// exact observed min/max. Resolution is bounded by the bucket width (a
+// factor of two), which is adequate for the latency-distribution exports
+// this feeds; consumers needing exact order statistics must keep the raw
+// samples (internal/serve's SLO evaluator does).
+func (h *Hist) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * h.wsum
+	cum := 0.0
+	for i, w := range h.buckets {
+		if w == 0 {
+			continue
+		}
+		if cum+w < target {
+			cum += w
+			continue
+		}
+		// Crossing bucket: interpolate between its bounds (lo, hi].
+		hi := math.Ldexp(1, i)
+		lo := 0.0
+		if i > 0 {
+			lo = hi / 2
+		}
+		v := lo + (target-cum)/w*(hi-lo)
+		// The true extremes are known exactly; never report past them.
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
 func (h *Hist) kind() string { return "hist" }
 func (h *Hist) snap(name string) Metric {
 	m := Metric{Name: name, Kind: "hist", Value: h.Mean(), Count: h.count}
 	if h.count > 0 {
 		m.Min, m.Max, m.Sum = h.min, h.max, h.sum
+		m.P50, m.P95, m.P99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 		for i, w := range h.buckets {
 			if w == 0 {
 				continue
@@ -252,13 +299,18 @@ func (h *Hist) snap(name string) Metric {
 // Metric is one snapshotted metric, JSON-ready. Value carries the counter
 // or gauge value; for histograms it is the weighted mean.
 type Metric struct {
-	Name    string   `json:"name"`
-	Kind    string   `json:"kind"`
-	Value   float64  `json:"value"`
-	Count   int64    `json:"count,omitempty"`
-	Sum     float64  `json:"sum,omitempty"`
-	Min     float64  `json:"min,omitempty"`
-	Max     float64  `json:"max,omitempty"`
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates, present for
+	// histograms only (see Hist.Quantile for the resolution caveat).
+	P50     float64  `json:"p50,omitempty"`
+	P95     float64  `json:"p95,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 

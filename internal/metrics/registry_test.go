@@ -106,6 +106,80 @@ func TestHistBucketBoundaries(t *testing.T) {
 	}
 }
 
+func TestHistQuantiles(t *testing.T) {
+	h := newHist()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+
+	// 100 unit-weight observations of the value i+1 (1..100): every
+	// quantile is derivable by hand. Values spread over buckets
+	// (0,1], (1,2], (2,4], ... so interpolation is exercised.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i + 1))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q=0: got %v, want min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q=1: got %v, want max 100", got)
+	}
+	// The bucket estimate must land within one power-of-two bucket of the
+	// exact order statistic.
+	cases := []struct {
+		q       float64
+		exact   float64
+		loosest float64 // allowed multiplicative error (one bucket)
+	}{
+		{0.50, 50, 2}, {0.95, 95, 2}, {0.99, 99, 2},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if got < c.exact/c.loosest || got > c.exact*c.loosest {
+			t.Errorf("q=%v: got %v, want within %vx of %v", c.q, got, c.loosest, c.exact)
+		}
+	}
+	// Monotonicity across the full range.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistQuantileSingleValue(t *testing.T) {
+	h := newHist()
+	h.ObserveWeighted(42, 3)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("q=%v: got %v, want 42 (all mass at one value, clamped to min/max)", q, got)
+		}
+	}
+}
+
+func TestHistSnapshotCarriesQuantiles(t *testing.T) {
+	h := newHist()
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i + 1))
+	}
+	m := h.snap("serve.e2e_us")
+	if m.P50 != h.Quantile(0.50) || m.P95 != h.Quantile(0.95) || m.P99 != h.Quantile(0.99) {
+		t.Fatalf("snapshot quantiles %v/%v/%v disagree with accessors", m.P50, m.P95, m.P99)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("metric JSON missing %s: %s", key, data)
+		}
+	}
+}
+
 func TestSnapshotJSONRoundtrip(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("noc.up.wire_bytes").Add(1024)

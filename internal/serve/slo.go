@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"cais/internal/sim"
+)
+
+// SLO is a latency service-level objective. Zero fields mean "no bound on
+// this axis"; a request meets the SLO when every set bound holds.
+type SLO struct {
+	// TTFT bounds time-to-first-token.
+	TTFT sim.Time
+	// E2E bounds end-to-end latency.
+	E2E sim.Time
+}
+
+// met reports whether the request satisfies every set bound.
+func (s SLO) met(r Request) bool {
+	if s.TTFT > 0 && r.TTFT() > s.TTFT {
+		return false
+	}
+	if s.E2E > 0 && r.E2E() > s.E2E {
+		return false
+	}
+	return true
+}
+
+// LatencyStats are exact order statistics over one latency axis, computed
+// by sorting the per-request samples (nearest-rank quantiles — not the
+// bucket estimates metrics.Hist trades precision for).
+type LatencyStats struct {
+	P50, P95, P99, Max sim.Time
+	Mean               sim.Time
+}
+
+// statsOf computes exact nearest-rank order statistics. Empty input yields
+// the zero value.
+func statsOf(samples []sim.Time) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]sim.Time(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) sim.Time {
+		// Nearest-rank: the smallest sample with cumulative share >= q.
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	var sum sim.Time
+	for _, s := range sorted {
+		sum += s
+	}
+	return LatencyStats{
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / sim.Time(len(sorted)),
+	}
+}
+
+// Summary is the SLO evaluation of one serving run.
+type Summary struct {
+	Requests int
+	// SLOMet counts requests meeting every bound; SLOShare is the
+	// fraction.
+	SLOMet   int
+	SLOShare float64
+	// ThroughputRPS counts all completions per simulated second;
+	// GoodputRPS only SLO-meeting ones — the metric that makes resilience
+	// studies actionable (RAPID-LLM's framing in PAPERS.md).
+	ThroughputRPS float64
+	GoodputRPS    float64
+
+	Queue LatencyStats
+	TTFT  LatencyStats
+	TPOT  LatencyStats
+	E2E   LatencyStats
+}
+
+// Evaluate computes the SLO summary of a completed run.
+func Evaluate(res Result, slo SLO) Summary {
+	n := len(res.Requests)
+	sum := Summary{Requests: n}
+	if n == 0 {
+		return sum
+	}
+	queues := make([]sim.Time, 0, n)
+	ttfts := make([]sim.Time, 0, n)
+	tpots := make([]sim.Time, 0, n)
+	e2es := make([]sim.Time, 0, n)
+	for _, r := range res.Requests {
+		queues = append(queues, r.Queue())
+		ttfts = append(ttfts, r.TTFT())
+		if r.OutputTokens > 1 {
+			tpots = append(tpots, r.TPOT())
+		}
+		e2es = append(e2es, r.E2E())
+		if slo.met(r) {
+			sum.SLOMet++
+		}
+	}
+	sum.SLOShare = float64(sum.SLOMet) / float64(n)
+	if res.Makespan > 0 {
+		seconds := res.Makespan.Seconds()
+		sum.ThroughputRPS = float64(n) / seconds
+		sum.GoodputRPS = float64(sum.SLOMet) / seconds
+	}
+	sum.Queue = statsOf(queues)
+	sum.TTFT = statsOf(ttfts)
+	sum.TPOT = statsOf(tpots)
+	sum.E2E = statsOf(e2es)
+	return sum
+}

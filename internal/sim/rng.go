@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // RNG is a splitmix64 pseudo-random generator. It is used for the
 // calibrated execution-time jitter described in DESIGN.md §1; splitmix64 is
 // chosen because it is trivially seedable per entity (gpu, kernel, tb), has
@@ -50,6 +52,32 @@ func (r *RNG) Jitter(frac float64) float64 {
 		return 1
 	}
 	return 1 + frac*(2*r.Float64()-1)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1
+// (inverse-CDF sampling). Scale by 1/rate for a mean-1/rate inter-arrival
+// draw. The underlying Float64 is in [0, 1), so the log argument 1-u is in
+// (0, 1] and the result is finite and non-negative.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// NewStreamRNG derives an independent generator from a base seed and a
+// purpose label ("serve/arrivals", "faults/campaign", ...). Each label gets
+// its own splitmix64 stream, so adding draws to one stream never perturbs
+// another — a workload's arrival times survive a change to its length
+// distribution. This is the shared seeded-randomness entry point for
+// subsystems outside the engine (fault campaigns, serving workloads); the
+// engine itself derives per-entity RNGs with Hash64 directly.
+func NewStreamRNG(seed uint64, stream string) *RNG {
+	// Fold the label into a 64-bit value with the same FNV-1a scheme the
+	// memo hasher uses, then mix it with the seed.
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= 0x100000001b3
+	}
+	return NewRNG(Hash64(seed, h))
 }
 
 // Hash64 mixes an arbitrary number of 64-bit values into one, for deriving

@@ -53,6 +53,11 @@ func TestParallelExperimentTablesByteIdentical(t *testing.T) {
 	if got, ref := renderExperiment(t, "resilience", 4), renderExperiment(t, "resilience", 1); got != ref {
 		t.Error("resilience: parallel output differs from sequential")
 	}
+	// Serving folds through a different layer (the request-level scheduler
+	// over memoized cost anchors); same one-shot coverage.
+	if got, ref := renderExperiment(t, "serving", 4), renderExperiment(t, "serving", 1); got != ref {
+		t.Error("serving: parallel output differs from sequential")
+	}
 }
 
 // attribAt runs one experiment with an attribution aggregator attached at

@@ -25,6 +25,9 @@ out="${BENCH_OUT:-BENCH_$(date -u +%Y%m%d).json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# The root package carries the per-experiment regeneration benchmarks
+# (BenchmarkFig*, BenchmarkServingSweep, ...); it joins the full suite only —
+# quick mode sticks to the fast engine/tooling microbenchmarks.
 pkgs="./internal/sim/ ./internal/trace/ ./internal/metrics/ ./internal/lint/"
 if [ "$quick" = 0 ]; then
 	pkgs=". $pkgs"

@@ -39,6 +39,9 @@ go run ./cmd/caissim -experiment resilience -quick
 echo "== attribution smoke (fig17 quick, JSON report)"
 go run ./cmd/caissim -experiment fig17 -quick -attrib-json attrib-report.json > /dev/null
 
+echo "== serving smoke (request-level serving study, quick, 4 workers)"
+go run ./cmd/caissim -experiment serving -quick -parallel 4 > /dev/null
+
 echo "== parallel sweep smoke (all experiments, quick, 4 workers)"
 go run ./cmd/caissim -experiment all -quick -parallel 4 > /dev/null
 
