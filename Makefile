@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint lint-fast lint-sarif race resilience-smoke parallel-smoke attrib-smoke serving-smoke bench bench-quick bench-diff clean
+.PHONY: all build test check vet fmt lint lint-fast lint-sarif race resilience-smoke parallel-smoke attrib-smoke serving-smoke bench bench-quick bench-diff profile clean
 
 all: check
 
@@ -82,6 +82,13 @@ bench-quick: build
 # `sh scripts/bench_diff.sh OLD.json NEW.json`. Non-gating in CI.
 bench-diff: build
 	sh scripts/bench_diff.sh
+
+# profile: CPU + allocation profiles of the hot path (the three workloads
+# the allocation ceilings pin) via scripts/profile.sh; pprof files land in
+# profiles/ and the top allocation sites print inline. CI uploads the
+# directory as a non-gating artifact.
+profile: build
+	sh scripts/profile.sh
 
 clean:
 	$(GO) clean ./...

@@ -6,21 +6,24 @@ import (
 	"cais/internal/experiments"
 )
 
-// Allocation ceilings for the three benchmark workloads the PR-5 pooling
-// overhaul targets (see DESIGN.md §10). The ceilings are set at 50% of the
-// pre-pooling baseline (BENCH_20260806.json: Fig17 13.18M, Table2 7.44M,
-// Fig13b 4.49M allocs/op); the pooled hot path measures well under them
-// (roughly 40% of baseline), so headroom is real but bounded — a change
-// that reintroduces per-packet or per-request allocation trips these
-// before it reaches a benchmark diff.
+// Allocation ceilings for the three benchmark workloads the pooling
+// overhauls target (see DESIGN.md §10). The PR-5 pooling pass halved the
+// original baseline (BENCH_20260806.json: Fig17 13.18M, Table2 7.44M,
+// Fig13b 4.49M allocs/op); the zero-alloc kernel-construction pass (tile
+// arenas, pooled latches and dependency records, interned tile sets, the
+// single-slot TB continuation) cut the remainder to under a tenth of the
+// original. Ceilings sit ~10% above the post-overhaul measurement
+// (Fig17 1,235,823 / Table2 695,539 / Fig13b 488,819), so a change that
+// reintroduces per-TB or per-registration allocation trips these before
+// it reaches a benchmark diff.
 // The ceilings double as the attribution PR's disabled-path guard: none of
 // these configs set Config.Attrib or Options.UtilBin, so a change that
 // makes the off-by-default observability layer allocate (an eagerly built
 // tracer, an unconditional recorder) trips them immediately.
 const (
-	allocCeilingFig17  = 6_591_669 // 50% of 13_183_339
-	allocCeilingTable2 = 3_720_003 // 50% of 7_440_006
-	allocCeilingFig13b = 2_245_615 // 50% of 4_491_230
+	allocCeilingFig17  = 1_360_000 // measured 1,235,823 + ~10%
+	allocCeilingTable2 = 765_000   // measured 695,539 + ~10%
+	allocCeilingFig13b = 538_000   // measured 488,819 + ~10%
 )
 
 // allocsForRun measures one quick-fidelity sequential regeneration.

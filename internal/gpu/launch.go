@@ -17,8 +17,10 @@ type LaunchOpts struct {
 	// GroupBase offsets the kernel's TB-local group IDs into the global
 	// group-ID space shared with the switch's Group Sync Table.
 	GroupBase int
-	// OnTBRetire fires when TB tb retires (its posts are issued).
-	OnTBRetire func(tb int)
+	// OnTBRetire fires when TB tb retires (its posts are issued). out is
+	// the TB's Out tile list from its work descriptor, handed back so the
+	// machine layer publishes retirement tiles without re-running Work.
+	OnTBRetire func(tb int, out []kernel.Tile)
 	// OnDone fires when every TB of the launch has retired.
 	OnDone func()
 }
@@ -39,7 +41,7 @@ type Launch struct {
 	remaining int
 	done      bool
 
-	onTBRetire func(int)
+	onTBRetire func(int, []kernel.Tile)
 	onDone     func()
 
 	// StartedAt / FinishedAt bracket the launch for reporting.
@@ -50,8 +52,15 @@ type Launch struct {
 // tbRun is one thread block's runtime state. Runs are pooled per GPU and
 // recycled when the TB retires; the lifecycle transitions that used to be
 // per-TB closures (dispatch -> pre-phase -> compute -> post-phase ->
-// retire) are cached method values created once per object lifetime, so a
-// recycled run schedules its whole lifecycle without allocating.
+// retire) run through a single cached step method value plus a next-state
+// tag, so a recycled run schedules its whole lifecycle without allocating
+// and the pooled object carries one closure instead of eight.
+//
+// The single-slot continuation is sound because a TB has exactly one
+// outstanding continuation at any time: every site that schedules stepFn
+// (event timer, sync-table release, access completion counter) sets next
+// first, and the multi-shot counters (preDone / postIssued) keep next
+// stable until their pending count drains.
 type tbRun struct {
 	g     *GPU
 	l     *Launch
@@ -75,19 +84,51 @@ type tbRun struct {
 	slotTid   int32
 	slotStart sim.Time
 
-	// Cached method values (preserved across reset/reuse).
-	finishFn     func()
-	prePhaseFn   func()
-	postPhaseFn  func()
-	readyFn      func()
-	preLoadFn    func()
-	preDoneFn    func()
-	issuePostsFn func()
-	postIssuedFn func()
+	// next selects what the cached stepFn does when it fires.
+	next uint8
+	// stepFn is the cached step method value (preserved across
+	// reset/reuse) — the only closure a pooled run carries.
+	stepFn func()
+}
+
+// tbRun continuation states (values of tbRun.next).
+const (
+	stepFinish uint8 = iota
+	stepPrePhase
+	stepPostPhase
+	stepReady
+	stepPreLoad
+	stepPreDone
+	stepIssuePosts
+	stepPostIssued
+)
+
+// step dispatches the run's pending continuation. Callers set r.next
+// before handing stepFn to a timer, sync table, or access counter.
+func (r *tbRun) step() {
+	switch r.next {
+	case stepFinish:
+		r.g.finishTB(r.l, r)
+	case stepPrePhase:
+		r.g.tbPrePhase(r.l, r)
+	case stepPostPhase:
+		r.g.tbPostPhase(r.l, r)
+	case stepReady:
+		r.enqueueReady()
+	case stepPreLoad:
+		r.preLoad()
+	case stepPreDone:
+		r.preDone()
+	case stepIssuePosts:
+		r.issuePosts()
+	case stepPostIssued:
+		r.postIssued()
+	}
 }
 
 // reset clears per-TB state for pool reuse; the g back-pointer and cached
-// closures are the object's identity and survive (caislint: poolreset).
+// step method value are the object's identity and survive (caislint:
+// poolreset).
 func (r *tbRun) reset() {
 	r.l = nil
 	r.tb = 0
@@ -100,31 +141,22 @@ func (r *tbRun) reset() {
 	r.postPending = 0
 	r.slotTid = 0
 	r.slotStart = 0
+	r.next = stepFinish
 }
 
-// getRun pops a recycled run and (first time only) installs its closures.
+// getRun pops a recycled run and (first time only) installs its step
+// closure.
 func (g *GPU) getRun(l *Launch) *tbRun {
 	r := g.runs.Get()
 	if r.g == nil {
 		r.g = g
-		r.finishFn = r.finish
-		r.prePhaseFn = r.prePhase
-		r.postPhaseFn = r.postPhase
-		r.readyFn = r.enqueueReady
-		r.preLoadFn = r.preLoad
-		r.preDoneFn = r.preDone
-		r.issuePostsFn = r.issuePosts
-		r.postIssuedFn = r.postIssued
+		r.stepFn = r.step
 	}
 	r.l = l
 	r.group = -1
 	r.slotTid = -1
 	return r
 }
-
-func (r *tbRun) finish()    { r.g.finishTB(r.l, r) }
-func (r *tbRun) prePhase()  { r.g.tbPrePhase(r.l, r) }
-func (r *tbRun) postPhase() { r.g.tbPostPhase(r.l, r) }
 
 // enqueueReady is the pre-launch sync release: releases arrive in
 // admission order, so appending preserves the cross-GPU dispatch order
@@ -139,8 +171,9 @@ func (r *tbRun) enqueueReady() {
 // shared completion counter.
 func (r *tbRun) preLoad() {
 	r.prePending = len(r.desc.Pre)
+	r.next = stepPreDone
 	for _, a := range r.desc.Pre {
-		r.g.issueAccess(a, r.group, r.l.K.Throttled, nil, r.preDoneFn)
+		r.g.issueAccess(a, r.group, r.l.K.Throttled, nil, r.stepFn)
 	}
 }
 
@@ -168,8 +201,9 @@ func (r *tbRun) issuePosts() {
 		return
 	}
 	r.postPending = len(r.desc.Post)
+	r.next = stepPostIssued
 	for _, a := range r.desc.Post {
-		r.g.issueAccess(a, r.group, r.l.K.Throttled, r.postIssuedFn, nil)
+		r.g.issueAccess(a, r.group, r.l.K.Throttled, r.stepFn, nil)
 	}
 }
 
@@ -266,14 +300,16 @@ func (l *Launch) admit(tb int) {
 	run := l.g.getRun(l)
 	run.tb, run.desc = tb, desc
 	if isNoop(desc) {
-		l.g.eng.After(0, run.finishFn)
+		run.next = stepFinish
+		l.g.eng.After(0, run.stepFn)
 		return
 	}
 	if desc.Group >= 0 {
 		run.group = l.groupBase + desc.Group
 	}
 	if l.K.PreLaunchSync && run.group >= 0 && participates(l.K, desc.Pre, desc.Post) {
-		l.g.sync.Wait(run.group, PhasePreLaunch, l.groupPeers(desc), run.readyFn)
+		run.next = stepReady
+		l.g.sync.Wait(run.group, PhasePreLaunch, l.groupPeers(desc), run.stepFn)
 		return
 	}
 	l.ready.PushBack(run)
@@ -344,7 +380,8 @@ func (g *GPU) dispatch(l *Launch, run *tbRun) {
 	g.slotsFree--
 	l.active++
 	g.slotAcquire(run)
-	g.eng.After(g.hw.TBOverhead, run.prePhaseFn)
+	run.next = stepPrePhase
+	g.eng.After(g.hw.TBOverhead, run.stepFn)
 }
 
 // slotAcquire assigns a free SM-slot trace track to a dispatched TB.
@@ -386,7 +423,8 @@ func (g *GPU) tbPrePhase(l *Launch, run *tbRun) {
 	}
 	if l.K.PreAccessSync && run.group >= 0 && participates(l.K, run.desc.Pre) {
 		run.yielded = true
-		g.sync.Wait(run.group, PhasePreLoad, l.groupPeers(run.desc), run.preLoadFn)
+		run.next = stepPreLoad
+		g.sync.Wait(run.group, PhasePreLoad, l.groupPeers(run.desc), run.stepFn)
 		// Yield the slot while the group synchronizes and the data moves.
 		g.slotRelease(l, run)
 		g.slotsFree++
@@ -415,7 +453,8 @@ func anyMergeable(accs []kernel.Access) bool {
 // noise, then moves to the post phase.
 func (g *GPU) tbCompute(l *Launch, run *tbRun) {
 	d := g.computeTime(l, run)
-	g.eng.After(d, run.postPhaseFn)
+	run.next = stepPostPhase
+	g.eng.After(d, run.stepFn)
 }
 
 // computeTime is the TB's roofline cost: max of compute and local-memory
@@ -456,7 +495,8 @@ func (g *GPU) tbPostPhase(l *Launch, run *tbRun) {
 		l.active--
 		g.TBsRun++
 		run.retireAfterPost = false
-		g.sync.Wait(run.group, PhasePreReduce, l.groupPeers(run.desc), run.issuePostsFn)
+		run.next = stepIssuePosts
+		g.sync.Wait(run.group, PhasePreReduce, l.groupPeers(run.desc), run.stepFn)
 		g.trySchedule()
 		return
 	}
@@ -479,11 +519,13 @@ func (g *GPU) tbRetire(l *Launch, run *tbRun) {
 func (g *GPU) finishTB(l *Launch, run *tbRun) {
 	// The run's lifecycle ends here: recycle it before the retire
 	// callback and scheduling sweep so the next admitted TB can reuse it.
-	tb := run.tb
+	// The Out tile list rides along to the retire callback so the machine
+	// layer never re-runs Work for retirement publishing.
+	tb, out := run.tb, run.desc.Out
 	run.reset()
 	g.runs.Put(run)
 	if l.onTBRetire != nil {
-		l.onTBRetire(tb)
+		l.onTBRetire(tb, out)
 	}
 	l.remaining--
 	if l.remaining == 0 {

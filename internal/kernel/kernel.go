@@ -104,6 +104,13 @@ type Access struct {
 	// multicast stores, whose copies land in per-GPU local buffers.
 	PublishAt func(gpu int) []Tile
 
+	// PublishEach is the closure-free form of the common stride-1
+	// PublishAt pattern: when Buf != 0, receiver r publishes the single
+	// tile {Buf, Idx + r}. Builders prefer it over PublishAt because a
+	// Tile value costs nothing to construct while a closure is a heap
+	// allocation per access per kernel per iteration.
+	PublishEach Tile
+
 	// TileNeed is the number of whole-access contributions required at
 	// the home GPU before Publish tiles become ready (reductions: all
 	// contributors including the home GPU's local partial). Zero means 1.
@@ -145,7 +152,10 @@ type Kernel struct {
 	Grid int // number of thread blocks per GPU
 
 	// Work generates TB tb's descriptor on GPU gpu. It must be
-	// deterministic and side-effect free.
+	// deterministic: calling it again with the same arguments must yield
+	// an equivalent descriptor. It may allocate the descriptor's slices
+	// from a per-run arena (the model builders do), so callers must not
+	// retain Pre/Post/In/Out slices across a later arena rewind.
 	Work func(gpu, tb int) TBDesc
 
 	// Patterns are the symbolic access patterns of the kernel body,

@@ -36,43 +36,42 @@ func (m *Machine) launchKernel(k *kernel.Kernel, wave int, onDone func()) {
 		traceID = m.tr.NextID()
 		m.tr.BeginAsync(trace.PIDMachine, "kernel", k.Name, traceID, span.Start)
 	}
-	remaining := len(m.GPUs)
-	launches := make([]*gpu.Launch, len(m.GPUs))
+	// A pooled latch counts per-GPU completions into one pooled
+	// completion record: the per-kernel closures this replaces were the
+	// largest machine-layer allocation after the tile tracker.
+	done := m.getKernelDone()
+	done.span, done.traceID, done.onDone = span, traceID, onDone
+	latch := m.latches.Get(len(m.GPUs), done.fireFn)
+	doneFn := latch.DoneFunc()
+	launches := m.launchScratch[:0]
 	for g := range m.GPUs {
-		g := g
-		launches[g] = m.GPUs[g].Launch(k, gpu.LaunchOpts{
-			LaunchID:  launchID,
-			GroupBase: groupBase,
-			OnTBRetire: func(tb int) {
-				out := k.Work(g, tb).Out
-				if len(out) > 0 {
-					m.PublishTiles(out)
-				}
-			},
-			OnDone: func() {
-				remaining--
-				if remaining == 0 {
-					span.End = m.Eng.Now()
-					if traceID != 0 {
-						m.tr.EndAsync(trace.PIDMachine, "kernel", k.Name, traceID, span.End)
-					}
-					if onDone != nil {
-						onDone()
-					}
-				}
-			},
-		})
+		launches = append(launches, m.GPUs[g].Launch(k, gpu.LaunchOpts{
+			LaunchID:   launchID,
+			GroupBase:  groupBase,
+			OnTBRetire: m.tbRetireFn,
+			OnDone:     doneFn,
+		}))
 	}
 	// Register input dependencies after all launches exist so publishes
 	// triggered by eligibility cascades see a consistent tracker. The
 	// iteration order (gpu-major, then tb) is deterministic and identical
 	// across runs; per-GPU relative TB order is identical across GPUs,
 	// which keeps cross-GPU group synchronization deadlock-free.
+	//
+	// Each registration descriptor is transient — registerTB copies the
+	// tiles it needs into the tracker — so the arena space every Work
+	// call allocates here is rewound immediately. Admission-time Work
+	// calls (at readyAt, strictly later) run outside any Mark window and
+	// their slices stay live for the machine's lifetime.
 	for g := range m.GPUs {
 		for tb := 0; tb < k.Grid; tb++ {
-			m.registerTB(launches[g], g, tb, k.Work(g, tb).In)
+			tm, am := m.tiles.Mark(), m.accs.Mark()
+			m.registerTB(launches[g], tb, k.Work(g, tb).In)
+			m.tiles.Rewind(tm)
+			m.accs.Rewind(am)
 		}
 	}
+	m.launchScratch = launches[:0]
 }
 
 // Sequence launches kernels one after another with a global barrier
@@ -105,18 +104,16 @@ func (m *Machine) LaunchAll(kernels []*kernel.Kernel, onDone func()) {
 	}
 	m.nextWave++
 	wave := m.nextWave
-	remaining := len(kernels)
+	// One pooled latch counts the batch: each kernel's completion record
+	// holds the latch's cached Done method value as its onDone.
+	batch := m.latches.Get(len(kernels), onDone)
+	bdone := batch.DoneFunc()
 	for _, k := range kernels {
-		m.launchKernel(k, wave, func() {
-			remaining--
-			if remaining == 0 && onDone != nil {
-				onDone()
-			}
-		})
+		m.launchKernel(k, wave, bdone)
 	}
 }
 
-func (m *Machine) registerTB(l *gpu.Launch, g, tb int, in []kernel.Tile) {
+func (m *Machine) registerTB(l *gpu.Launch, tb int, in []kernel.Tile) {
 	pending := 0
 	var dep *tbDep
 	for _, t := range in {
@@ -124,10 +121,11 @@ func (m *Machine) registerTB(l *gpu.Launch, g, tb int, in []kernel.Tile) {
 			continue
 		}
 		if dep == nil {
-			dep = &tbDep{launch: l, tb: tb}
+			dep = m.deps.Get()
+			dep.launch, dep.tb = l, tb
 		}
 		pending++
-		m.waiters[t] = append(m.waiters[t], dep)
+		m.addWaiter(t, dep)
 	}
 	if pending == 0 {
 		l.MarkEligible(tb)
@@ -136,24 +134,52 @@ func (m *Machine) registerTB(l *gpu.Launch, g, tb int, in []kernel.Tile) {
 	dep.pending = pending
 }
 
+// addWaiter appends a dependency record to a tile's waiter list, reusing
+// a recycled backing array for lists starting from scratch. Identical
+// dependency sets thereby share pool-interned storage across kernels
+// instead of growing a fresh map entry per registration.
+func (m *Machine) addWaiter(t kernel.Tile, d *tbDep) {
+	w, ok := m.waiters[t]
+	if !ok && len(m.depLists) > 0 {
+		w = m.depLists[len(m.depLists)-1]
+		m.depLists = m.depLists[:len(m.depLists)-1]
+	}
+	m.waiters[t] = append(w, d)
+}
+
 // PublishTiles marks tiles globally ready and wakes waiting TBs in
 // registration order.
 func (m *Machine) PublishTiles(tiles []kernel.Tile) {
 	for _, t := range tiles {
-		if m.ready[t] {
-			continue
-		}
-		m.ready[t] = true
-		m.PublishedTiles++
-		deps := m.waiters[t]
-		delete(m.waiters, t)
-		for _, d := range deps {
-			d.pending--
-			if d.pending == 0 {
-				d.launch.MarkEligible(d.tb)
-			}
+		m.publishOne(t)
+	}
+}
+
+// publishOne publishes a single tile: drained dependency records return
+// to their pool and the waiter list's backing array goes back on the
+// free list for the next registration.
+func (m *Machine) publishOne(t kernel.Tile) {
+	if m.ready[t] {
+		return
+	}
+	m.ready[t] = true
+	m.PublishedTiles++
+	deps, ok := m.waiters[t]
+	if !ok {
+		return
+	}
+	delete(m.waiters, t)
+	for i, d := range deps {
+		deps[i] = nil
+		d.pending--
+		if d.pending == 0 {
+			launch, tb := d.launch, d.tb
+			d.reset()
+			m.deps.Put(d)
+			launch.MarkEligible(tb)
 		}
 	}
+	m.depLists = append(m.depLists, deps[:0])
 }
 
 // TileReady reports whether a tile has been published.
@@ -171,7 +197,8 @@ func (m *Machine) OnData(g int, p *noc.Packet) {
 	if contribs < 1 {
 		contribs = 1
 	}
-	m.addContribution(g, tag, int64(contribs)*p.Size)
+	m.addContribution(g, tag.Base, tag.NeedBytes, int64(contribs)*p.Size,
+		tag.Publish, tag.PublishAt, tag.PublishEach)
 }
 
 // OnAccessDone implements gpu.DataSink: one TB's access completed at the
@@ -180,39 +207,47 @@ func (m *Machine) OnData(g int, p *noc.Packet) {
 // GPU.
 func (m *Machine) OnAccessDone(g int, a kernel.Access) {
 	if a.Sem == kernel.SemRead {
-		m.publishFor(g, a.Publish, a.PublishAt)
+		m.publishFor(g, a.Publish, a.PublishAt, a.PublishEach)
 		return
 	}
 	need := a.TileNeed
 	if need <= 0 {
 		need = 1
 	}
-	tag := &gpu.TileTag{Base: a.Addr, NeedBytes: int64(need) * a.Bytes, Publish: a.Publish, PublishAt: a.PublishAt}
-	m.addContribution(g, tag, a.Bytes)
+	m.addContribution(g, a.Addr, int64(need)*a.Bytes, a.Bytes,
+		a.Publish, a.PublishAt, a.PublishEach)
 }
 
-func (m *Machine) addContribution(g int, tag *gpu.TileTag, bytes int64) {
-	key := contribKey{base: tag.Base, gpu: g}
+func (m *Machine) addContribution(g int, base uint64, needBytes, bytes int64,
+	pub []kernel.Tile, pubAt func(int) []kernel.Tile, pubEach kernel.Tile) {
+	key := contribKey{base: base, gpu: g}
 	st, ok := m.contrib[key]
 	if !ok {
-		st = &contribState{need: tag.NeedBytes}
+		st = m.contribs.Get()
+		st.need = needBytes
 		m.contrib[key] = st
 	}
-	if st.need != tag.NeedBytes {
+	if st.need != needBytes {
 		panic(fmt.Sprintf("machine: inconsistent contribution need at addr %#x gpu %d: %d vs %d",
-			tag.Base, g, st.need, tag.NeedBytes))
+			base, g, st.need, needBytes))
 	}
 	st.got += bytes
 	if st.got < st.need {
 		return
 	}
 	delete(m.contrib, key)
-	m.publishFor(g, tag.Publish, tag.PublishAt)
+	st.reset()
+	m.contribs.Put(st)
+	m.publishFor(g, pub, pubAt, pubEach)
 }
 
-func (m *Machine) publishFor(g int, tiles []kernel.Tile, perGPU func(int) []kernel.Tile) {
+func (m *Machine) publishFor(g int, tiles []kernel.Tile, perGPU func(int) []kernel.Tile, each kernel.Tile) {
 	if perGPU != nil {
 		m.PublishTiles(perGPU(g))
+		return
+	}
+	if each.Buf != 0 {
+		m.publishOne(kernel.Tile{Buf: each.Buf, Idx: each.Idx + g})
 		return
 	}
 	m.PublishTiles(tiles)

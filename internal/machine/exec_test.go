@@ -3,7 +3,6 @@ package machine
 import (
 	"testing"
 
-	"cais/internal/gpu"
 	"cais/internal/kernel"
 	"cais/internal/metrics"
 	"cais/internal/noc"
@@ -41,15 +40,13 @@ func TestKernelSpansRecorded(t *testing.T) {
 
 func TestContributionInconsistencyPanics(t *testing.T) {
 	m := newTestMachine(t, testHW(), Options{})
-	tag1 := &gpu.TileTag{Base: 99, NeedBytes: 100}
-	tag2 := &gpu.TileTag{Base: 99, NeedBytes: 200}
-	m.addContribution(0, tag1, 10)
+	m.addContribution(0, 99, 100, 10, nil, nil, kernel.Tile{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("inconsistent contribution need did not panic")
 		}
 	}()
-	m.addContribution(0, tag2, 10)
+	m.addContribution(0, 99, 200, 10, nil, nil, kernel.Tile{})
 }
 
 func TestOnDataIgnoresUntaggedPackets(t *testing.T) {

@@ -17,6 +17,7 @@ import (
 	"cais/internal/metrics"
 	"cais/internal/noc"
 	"cais/internal/nvswitch"
+	"cais/internal/pool"
 	"cais/internal/sim"
 	"cais/internal/trace"
 )
@@ -65,6 +66,25 @@ type Machine struct {
 
 	// Reduction contribution counting at home GPUs.
 	contrib map[contribKey]*contribState
+
+	// Per-run allocation state for the kernel-construction and dataflow
+	// hot path (DESIGN.md §10). All of it is owned by this machine and
+	// dies with it, so nothing leaks across simulation points.
+	tiles    pool.Arena[kernel.Tile]   // TB descriptor tile slices
+	accs     pool.Arena[kernel.Access] // TB descriptor access slices
+	deps     pool.Pool[tbDep]          // tile-tracker dependency records
+	depLists [][]*tbDep                // recycled waiter backing arrays
+	kdones   pool.Pool[kernelDone]     // per-kernel completion records
+	contribs pool.Pool[contribState]   // reduction contribution counters
+	latches  sim.LatchPool             // kernel/batch completion latches
+
+	// tbRetireFn is the one retire callback shared by every launch: the
+	// retiring TB's Out tiles arrive as an argument, so nothing needs to
+	// be captured per kernel per GPU.
+	tbRetireFn func(tb int, out []kernel.Tile)
+	// launchScratch is the reusable per-launchKernel slice of the
+	// SPMD launch handles (only live inside one launchKernel call).
+	launchScratch []*gpu.Launch
 
 	nextLaunchID  int
 	nextGroupBase int
@@ -124,12 +144,82 @@ type contribState struct {
 	got  int64
 }
 
+// reset clears the counter for pool reuse (caislint: poolreset).
+func (c *contribState) reset() {
+	c.need = 0
+	c.got = 0
+}
+
 // tbDep tracks one TB instance's unsatisfied input count.
 type tbDep struct {
 	launch  *gpu.Launch
 	tb      int
 	pending int
 }
+
+// reset clears the record for pool reuse (caislint: poolreset).
+func (d *tbDep) reset() {
+	d.launch = nil
+	d.tb = 0
+	d.pending = 0
+}
+
+// kernelDone carries one kernel's completion bookkeeping (span close,
+// trace end, caller callback); the pooled launch latch fires it when the
+// kernel has retired on every GPU. The m back-pointer and cached fire
+// method value are installed once per object lifetime.
+type kernelDone struct {
+	m       *Machine
+	span    *KernelSpan
+	traceID uint64
+	onDone  func()
+	fireFn  func()
+}
+
+// reset clears per-kernel state for pool reuse; the m back-pointer and
+// cached fireFn are the object's identity and survive (caislint:
+// poolreset).
+func (d *kernelDone) reset() {
+	d.span = nil
+	d.traceID = 0
+	d.onDone = nil
+}
+
+// fire closes the kernel's span and runs the caller's completion. The
+// record recycles itself first so the callback may immediately launch the
+// next kernel through a fresh record.
+func (d *kernelDone) fire() {
+	m, span, traceID, onDone := d.m, d.span, d.traceID, d.onDone
+	d.reset()
+	m.kdones.Put(d)
+	span.End = m.Eng.Now()
+	if traceID != 0 {
+		m.tr.EndAsync(trace.PIDMachine, "kernel", span.Name, traceID, span.End)
+	}
+	if onDone != nil {
+		onDone()
+	}
+}
+
+// getKernelDone pops a recycled completion record and (first time only)
+// installs its identity.
+func (m *Machine) getKernelDone() *kernelDone {
+	d := m.kdones.Get()
+	if d.m == nil {
+		d.m = m
+		d.fireFn = d.fire
+	}
+	return d
+}
+
+// TileArena exposes the per-run tile-slice arena to the workload builders:
+// kernel Work generators allocate their descriptor slices here instead of
+// the heap. Slices live until the machine dies (or, inside the machine's
+// own registration loop, until the surrounding Mark/Rewind window closes).
+func (m *Machine) TileArena() *pool.Arena[kernel.Tile] { return &m.tiles }
+
+// AccessArena is the access-slice counterpart of TileArena.
+func (m *Machine) AccessArena() *pool.Arena[kernel.Access] { return &m.accs }
 
 // New assembles a machine for the hardware configuration.
 func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
@@ -150,6 +240,14 @@ func New(eng *sim.Engine, hw config.Hardware, opts Options) *Machine {
 		nextAddr: 1,
 		reg:      metrics.NewRegistry(),
 		tr:       trace.FromEngine(eng),
+	}
+	// One retire callback for every launch of this machine's lifetime
+	// (the per-kernel-per-GPU closures it replaces were ~N_GPUs allocs
+	// per launch).
+	m.tbRetireFn = func(tb int, out []kernel.Tile) {
+		if len(out) > 0 {
+			m.PublishTiles(out)
+		}
 	}
 	m.planeAlive = make([]bool, hw.NumSwitchPlanes)
 	for p := range m.planeAlive {
@@ -340,6 +438,22 @@ func (m *Machine) registerGauges() {
 	m.reg.GaugeFunc("pool.nvswitch.gets", func() float64 { g, _, _ := swPools(); return float64(g) })
 	m.reg.GaugeFunc("pool.nvswitch.allocs", func() float64 { _, n, _ := swPools(); return float64(n) })
 	m.reg.GaugeFunc("pool.nvswitch.idle", func() float64 { _, _, i := swPools(); return float64(i) })
+	machinePools := func() (gets, news, idle int) {
+		for _, p := range []interface{ Stats() (int, int, int) }{&m.deps, &m.kdones, &m.contribs, &m.latches} {
+			g, n, i := p.Stats()
+			gets, news, idle = gets+g, news+n, idle+i
+		}
+		return
+	}
+	m.reg.GaugeFunc("pool.machine.gets", func() float64 { g, _, _ := machinePools(); return float64(g) })
+	m.reg.GaugeFunc("pool.machine.allocs", func() float64 { _, n, _ := machinePools(); return float64(n) })
+	m.reg.GaugeFunc("pool.machine.idle", func() float64 { _, _, i := machinePools(); return float64(i) })
+	// Arena health: chunks is the real heap footprint; elems keeps climbing
+	// with work done, so elems/chunk >> arenaChunk means healthy reuse.
+	m.reg.GaugeFunc("arena.tiles.chunks", func() float64 { c, _, _ := m.tiles.Stats(); return float64(c) })
+	m.reg.GaugeFunc("arena.tiles.elems", func() float64 { _, _, e := m.tiles.Stats(); return float64(e) })
+	m.reg.GaugeFunc("arena.accs.chunks", func() float64 { c, _, _ := m.accs.Stats(); return float64(c) })
+	m.reg.GaugeFunc("arena.accs.elems", func() float64 { _, _, e := m.accs.Stats(); return float64(e) })
 }
 
 // Metrics exposes the machine's central metric registry.

@@ -1,0 +1,36 @@
+// Kernel-construction hot-path microbenchmarks. Work generators re-request
+// the same deterministic tile sets millions of times per sweep point, so
+// the interned lookup must be allocation-free once the cache is warm — the
+// benchmark pins that property in addition to timing it.
+package model
+
+import (
+	"testing"
+
+	"cais/internal/kernel"
+)
+
+// BenchmarkRowTiles measures a warmed interned row-set lookup through the
+// Builder cache: one map probe, zero allocations.
+func BenchmarkRowTiles(b *testing.B) {
+	bl := testBuilder(b)
+	grid := bl.NewLocalGrid(4096, 4096)
+	// Warm the cache: every (row, gpu) set interns exactly once.
+	for mi := 0; mi < grid.MTiles; mi++ {
+		for g := 0; g < bl.P; g++ {
+			bl.RowTiles(grid, mi, g)
+		}
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		_ = bl.RowTiles(grid, 1, 0)
+	}); got != 0 {
+		b.Fatalf("warmed RowTiles allocates %.2f/op, want 0", got)
+	}
+	var sink []kernel.Tile
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = bl.RowTiles(grid, i%grid.MTiles, i%bl.P)
+	}
+	_ = sink
+}

@@ -7,21 +7,48 @@ import (
 	"cais/internal/kernel"
 	"cais/internal/machine"
 	"cais/internal/noc"
+	"cais/internal/pool"
 )
 
 // Builder lowers operators into kernels on a machine. It owns the tile
 // buffer and address-space allocation so kernels built for the same
-// machine never collide.
+// machine never collide, plus the per-run allocation state kernel Work
+// generators draw descriptor slices from: the machine's tile/access
+// arenas and a tile-set intern cache (DESIGN.md §10).
 type Builder struct {
 	M    *machine.Machine
 	Elem int64 // element width in bytes
 	P    int   // TP degree (machine GPU count)
+
+	tiles *pool.Arena[kernel.Tile]
+	accs  *pool.Arena[kernel.Access]
+	cache *TileCache
 }
 
 // NewBuilder creates a builder for a machine.
 func NewBuilder(m *machine.Machine) *Builder {
-	return &Builder{M: m, Elem: int64(m.HW.ElemBytes), P: m.HW.NumGPUs}
+	return &Builder{
+		M: m, Elem: int64(m.HW.ElemBytes), P: m.HW.NumGPUs,
+		tiles: m.TileArena(), accs: m.AccessArena(), cache: &TileCache{},
+	}
 }
+
+// Tile1 is the arena-backed single-tile list — the replacement for the
+// []kernel.Tile{t} literals on the kernel-construction hot path.
+func (b *Builder) Tile1(t kernel.Tile) []kernel.Tile { return b.tiles.One(t) }
+
+// RowTiles is grid.RowTiles interned through the builder's cache.
+func (b *Builder) RowTiles(grid LocalGrid, mi, gpu int) []kernel.Tile {
+	return grid.RowTiles(mi, gpu, b.cache)
+}
+
+// PeerTiles is grid.PeerTiles interned through the builder's cache.
+func (b *Builder) PeerTiles(grid LocalGrid, mi, ni int) []kernel.Tile {
+	return grid.PeerTiles(mi, ni, b.cache)
+}
+
+// CacheStats reports the tile-set intern cache's size and hit count.
+func (b *Builder) CacheStats() (sets int, hits int64) { return b.cache.Stats() }
 
 // NewSharded allocates a sequence-sharded tensor handle for rows rows.
 func (b *Builder) NewSharded(rows int) Sharded {
@@ -94,7 +121,7 @@ func (b *Builder) GEMM(name string, m, nLocal, k int, scale float64, in InTiles,
 			return kernel.TBDesc{
 				Flops: flops, LocalBytes: localBytes, Group: -1,
 				In:  in(g, mi, ni),
-				Out: []kernel.Tile{out.Tile(mi, ni, g)},
+				Out: b.tiles.One(out.Tile(mi, ni, g)),
 			}
 		},
 	}
@@ -181,7 +208,7 @@ func (b *Builder) FusedAGGEMM(name string, src Sharded, m, nLocal, k int, scale 
 			d := kernel.TBDesc{
 				Flops: flops, LocalBytes: localBytes,
 				Group: groups.GroupOf(tb), GroupPeers: peers,
-				Out: []kernel.Tile{out.Tile(mi, ni, g)},
+				Out: b.tiles.One(out.Tile(mi, ni, g)),
 			}
 			owner := src.Owner(mi)
 			if mode == GatherPerTB {
@@ -198,18 +225,18 @@ func (b *Builder) FusedAGGEMM(name string, src Sharded, m, nLocal, k int, scale 
 				} else {
 					acc.Mode = noc.OpLoad
 				}
-				d.Pre = []kernel.Access{acc}
-				d.In = []kernel.Tile{src.Tile(mi)}
+				d.Pre = b.accs.One(acc)
+				d.In = b.tiles.One(src.Tile(mi))
 				return d
 			}
 			if ni != 0 {
-				d.In = []kernel.Tile{copies.Tile(mi, g)}
+				d.In = b.tiles.One(copies.Tile(mi, g))
 				return d
 			}
 			addr := uint64(pattern.Addr.Eval(kernel.Env{GPU: int64(g), BlockIdx: int64(tb)}))
 			acc := kernel.Access{
 				Sem: kernel.SemRead, Addr: addr, Home: owner, Bytes: rowBytes,
-				Publish: []kernel.Tile{copies.Tile(mi, g)},
+				Publish: b.tiles.One(copies.Tile(mi, g)),
 			}
 			if owner == g {
 				acc.Mode = noc.OpLoad
@@ -218,8 +245,8 @@ func (b *Builder) FusedAGGEMM(name string, src Sharded, m, nLocal, k int, scale 
 				acc.Mode = loadOp
 				acc.Expected = b.P - 1
 			}
-			d.Pre = []kernel.Access{acc}
-			d.In = []kernel.Tile{src.Tile(mi)}
+			d.Pre = b.accs.One(acc)
+			d.In = b.tiles.One(src.Tile(mi))
 			return d
 		},
 	}
@@ -300,7 +327,7 @@ func (b *Builder) FusedGEMMRS(name string, m, n, kLocal int, scale float64, in I
 			acc := kernel.Access{
 				Sem: kernel.SemReduce, Addr: addr, Home: owner, Bytes: tileBytes,
 				TileNeed: b.P,
-				Publish:  []kernel.Tile{parts.Tile(mi, ni, 0)},
+				Publish:  b.tiles.One(parts.Tile(mi, ni, 0)),
 			}
 			if owner == g {
 				acc.Mode = noc.OpStore
@@ -313,7 +340,7 @@ func (b *Builder) FusedGEMMRS(name string, m, n, kLocal int, scale float64, in I
 				Flops: flops, LocalBytes: localBytes,
 				Group: groups.GroupOf(tb), GroupPeers: peers,
 				In:   in(g, mi, ni),
-				Post: []kernel.Access{acc},
+				Post: b.accs.One(acc),
 			}
 		},
 	}
@@ -359,20 +386,21 @@ func (b *Builder) FusedGEMMAR(name string, m, n, kLocal int, scale float64, in I
 			mi, ni := tb/nT, tb%nT
 			// All P GPUs contribute through the switch; the reduced tile
 			// broadcasts back to every replica.
+			// Receiver r's replica tile is out.Tile(mi, ni, r) — stride 1
+			// in the GPU index, so the closure-free PublishEach form
+			// applies.
 			acc := kernel.Access{
 				Sem: kernel.SemReduce, Mode: v.Mode,
 				Addr: uint64(pattern.Addr.Eval(kernel.Env{GPU: int64(g), BlockIdx: int64(tb)})),
 				Home: mi % b.P, Bytes: tileBytes,
 				Expected: b.P, TileNeed: b.P, Broadcast: true,
-				PublishAt: func(recv int) []kernel.Tile {
-					return []kernel.Tile{out.Tile(mi, ni, recv)}
-				},
+				PublishEach: out.Tile(mi, ni, 0),
 			}
 			return kernel.TBDesc{
 				Flops: flops, LocalBytes: localBytes,
 				Group: groups.GroupOf(tb), GroupPeers: b.P,
 				In:   in(g, mi, ni),
-				Post: []kernel.Access{acc},
+				Post: b.accs.One(acc),
 			}
 		},
 	}
@@ -397,7 +425,7 @@ func (b *Builder) ShardedRowOp(name string, kind kernel.Kind, rows, cols int, in
 			return kernel.TBDesc{
 				LocalBytes: bytes, Group: -1,
 				In:  in(g, tb, 0),
-				Out: []kernel.Tile{out.Tile(tb)},
+				Out: b.tiles.One(out.Tile(tb)),
 			}
 		},
 	}
@@ -414,7 +442,7 @@ func (b *Builder) ReplicatedRowOp(name string, kind kernel.Kind, rows, cols int,
 			return kernel.TBDesc{
 				LocalBytes: bytes, Group: -1,
 				In:  in(g, tb, 0),
-				Out: []kernel.Tile{out.Tile(tb, g)},
+				Out: b.tiles.One(out.Tile(tb, g)),
 			}
 		},
 	}
@@ -434,7 +462,7 @@ func (b *Builder) LocalRowOp(name string, rows, colsLocal int, in InTiles, out L
 			return kernel.TBDesc{
 				LocalBytes: bytes, Group: -1,
 				In:  in(g, mi, ni),
-				Out: []kernel.Tile{out.Tile(mi, ni, g)},
+				Out: b.tiles.One(out.Tile(mi, ni, g)),
 			}
 		},
 	}
@@ -460,14 +488,21 @@ func (b *Builder) Attention(name string, batch, headsLocal, seq, headDim int, sc
 			ni := h % qkv.NTiles
 			// The query block depends on its own QKV rows plus the full
 			// K/V column of its head (token rows of this batch element).
-			in := make([]kernel.Tile, 0, sT)
-			for mj := 0; mj < sT; mj++ {
-				in = append(in, qkv.Tile(bIdx*sT+mj, ni, g))
+			// The column set is shared by every query block of the same
+			// (batch, head, gpu), so it interns in the builder's cache.
+			key := tileSetKey{kind: setAttn, buf: qkv.Buf, a: bIdx*qkv.NTiles + ni, b: g}
+			in, ok := b.cache.lookup(key)
+			if !ok {
+				in = make([]kernel.Tile, 0, sT)
+				for mj := 0; mj < sT; mj++ {
+					in = append(in, qkv.Tile(bIdx*sT+mj, ni, g))
+				}
+				in = b.cache.store(key, in)
 			}
 			return kernel.TBDesc{
 				Flops: flopsPerTB, LocalBytes: bytesPerTB, Group: -1,
 				In:  in,
-				Out: []kernel.Tile{out.Tile(bIdx*sT+mi, h%out.NTiles, g)},
+				Out: b.tiles.One(out.Tile(bIdx*sT+mi, h%out.NTiles, g)),
 			}
 		},
 	}

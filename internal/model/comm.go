@@ -36,7 +36,7 @@ func (b *Builder) NVLSAllGather(name string, src Sharded, cols int, in InTiles, 
 	addrsPerRow := uint64(b.M.AddrsFor(rowBytes))
 	if b.P == 1 {
 		return b.localCopyKernel(name, mT, in, func(mi, g int) []kernel.Tile {
-			return []kernel.Tile{out.Tile(mi, g)}
+			return b.tiles.One(out.Tile(mi, g))
 		})
 	}
 	return b.commKernel(name, mT, func(g, tb int) kernel.TBDesc {
@@ -48,14 +48,12 @@ func (b *Builder) NVLSAllGather(name string, src Sharded, cols int, in InTiles, 
 			Group: -1,
 			In:    in(g, mi, 0),
 			// The owner's own copy is already local.
-			Out: []kernel.Tile{out.Tile(mi, g)},
-			Post: []kernel.Access{{
+			Out: b.tiles.One(out.Tile(mi, g)),
+			Post: b.accs.One(kernel.Access{
 				Sem: kernel.SemWrite, Mode: noc.OpMultimemST,
 				Addr: base + uint64(mi)*addrsPerRow, Home: g, Bytes: rowBytes,
-				PublishAt: func(recv int) []kernel.Tile {
-					return []kernel.Tile{out.Tile(mi, recv)}
-				},
-			}},
+				PublishEach: out.Tile(mi, 0),
+			}),
 		}
 	})
 }
@@ -71,7 +69,7 @@ func (b *Builder) NVLSReduceScatter(name string, m, n int, in InTiles, red Shard
 	addrsPerTile := uint64(b.M.AddrsFor(tileBytes))
 	if b.P == 1 {
 		return b.localCopyKernel(name, mT*nT, in2(in, nT), func(tb, g int) []kernel.Tile {
-			return []kernel.Tile{parts.Tile(tb/nT, tb%nT, 0)}
+			return b.tiles.One(parts.Tile(tb/nT, tb%nT, 0))
 		})
 	}
 	return b.commKernel(name, mT*nT, func(g, tb int) kernel.TBDesc {
@@ -82,12 +80,12 @@ func (b *Builder) NVLSReduceScatter(name string, m, n int, in InTiles, red Shard
 		return kernel.TBDesc{
 			Group: -1,
 			In:    in(g, mi, ni),
-			Pre: []kernel.Access{{
+			Pre: b.accs.One(kernel.Access{
 				Sem: kernel.SemRead, Mode: noc.OpMultimemLdReduce,
 				Addr: base + uint64(tb)*addrsPerTile, Home: g, Bytes: tileBytes,
 				Expected: 1,
-				Publish:  []kernel.Tile{parts.Tile(mi, ni, 0)},
-			}},
+				Publish:  b.tiles.One(parts.Tile(mi, ni, 0)),
+			}),
 		}
 	})
 }
@@ -102,7 +100,7 @@ func (b *Builder) NVLSAllReduce(name string, m, n int, in InTiles, out LocalGrid
 	addrsPerTile := uint64(b.M.AddrsFor(tileBytes))
 	if b.P == 1 {
 		return b.localCopyKernel(name, mT*nT, in2(in, nT), func(tb, g int) []kernel.Tile {
-			return []kernel.Tile{out.Tile(tb/nT, tb%nT, g)}
+			return b.tiles.One(out.Tile(tb/nT, tb%nT, g))
 		})
 	}
 	return b.commKernel(name, mT*nT, func(g, tb int) kernel.TBDesc {
@@ -110,14 +108,12 @@ func (b *Builder) NVLSAllReduce(name string, m, n int, in InTiles, out LocalGrid
 		return kernel.TBDesc{
 			Group: -1,
 			In:    in(g, mi, ni),
-			Post: []kernel.Access{{
+			Post: b.accs.One(kernel.Access{
 				Sem: kernel.SemReduce, Mode: noc.OpMultimemRed,
 				Addr: base + uint64(tb)*addrsPerTile, Home: -1, Bytes: tileBytes,
 				Expected: b.P, TileNeed: b.P,
-				PublishAt: func(recv int) []kernel.Tile {
-					return []kernel.Tile{out.Tile(mi, ni, recv)}
-				},
-			}},
+				PublishEach: out.Tile(mi, ni, 0),
+			}),
 		}
 	})
 }
@@ -134,7 +130,7 @@ func (b *Builder) RingReduceScatter(name string, m, n int, in InTiles, red Shard
 	addrsPerTile := uint64(b.M.AddrsFor(tileBytes))
 	if b.P == 1 {
 		return b.localCopyKernel(name, mT*nT, in2(in, nT), func(tb, g int) []kernel.Tile {
-			return []kernel.Tile{parts.Tile(tb/nT, tb%nT, 0)}
+			return b.tiles.One(parts.Tile(tb/nT, tb%nT, 0))
 		})
 	}
 	return b.commKernel(name, mT*nT, func(g, tb int) kernel.TBDesc {
@@ -149,17 +145,19 @@ func (b *Builder) RingReduceScatter(name string, m, n int, in InTiles, red Shard
 		d := kernel.TBDesc{Group: -1, In: in(g, mi, ni)}
 		if g != (owner+1)%b.P {
 			// Wait for the accumulated partial from the predecessor.
-			d.In = append(append([]kernel.Tile{}, d.In...), hopTile(tb, g))
+			d.In = b.tiles.With(d.In, hopTile(tb, g))
 		}
-		publish := []kernel.Tile{hopTile(tb, next)}
+		// The hop's only receiver is next, so a plain Publish replaces
+		// the receiver-independent PublishAt closure.
+		publish := hopTile(tb, next)
 		if next == owner {
-			publish = []kernel.Tile{parts.Tile(mi, ni, 0)}
+			publish = parts.Tile(mi, ni, 0)
 		}
-		d.Post = []kernel.Access{{
+		d.Post = b.accs.One(kernel.Access{
 			Sem: kernel.SemWrite, Mode: noc.OpStore,
 			Addr: base + uint64(tb)*addrsPerTile, Home: next, Bytes: tileBytes,
-			PublishAt: func(int) []kernel.Tile { return publish },
-		}}
+			Publish: b.tiles.One(publish),
+		})
 		return d
 	})
 }
@@ -173,7 +171,7 @@ func (b *Builder) RingAllGather(name string, src Sharded, cols int, in InTiles, 
 	addrsPerRow := uint64(b.M.AddrsFor(rowBytes))
 	if b.P == 1 {
 		return b.localCopyKernel(name, mT, in, func(mi, g int) []kernel.Tile {
-			return []kernel.Tile{out.Tile(mi, g)}
+			return b.tiles.One(out.Tile(mi, g))
 		})
 	}
 	return b.commKernel(name, mT, func(g, tb int) kernel.TBDesc {
@@ -183,22 +181,20 @@ func (b *Builder) RingAllGather(name string, src Sharded, cols int, in InTiles, 
 		d := kernel.TBDesc{Group: -1}
 		if g == owner {
 			d.In = in(g, mi, 0)
-			d.Out = []kernel.Tile{out.Tile(mi, g)}
+			d.Out = b.tiles.One(out.Tile(mi, g))
 		} else {
 			// Forward after this GPU's copy arrived.
-			d.In = []kernel.Tile{out.Tile(mi, g)}
+			d.In = b.tiles.One(out.Tile(mi, g))
 		}
 		if next == owner {
 			// The block has completed its P-1 hops.
 			return d
 		}
-		d.Post = []kernel.Access{{
+		d.Post = b.accs.One(kernel.Access{
 			Sem: kernel.SemWrite, Mode: noc.OpStore,
 			Addr: base + uint64(mi)*addrsPerRow, Home: next, Bytes: rowBytes,
-			PublishAt: func(recv int) []kernel.Tile {
-				return []kernel.Tile{out.Tile(mi, recv)}
-			},
-		}}
+			PublishEach: out.Tile(mi, 0),
+		})
 		return d
 	})
 }
@@ -217,7 +213,7 @@ func (b *Builder) RingAllReduce(name string, m, n int, in InTiles, out LocalGrid
 	addrsPerTile := uint64(b.M.AddrsFor(tileBytes))
 	if b.P == 1 {
 		return b.localCopyKernel(name, tiles, in2(in, nT), func(tb, g int) []kernel.Tile {
-			return []kernel.Tile{out.Tile(tb/nT, tb%nT, g)}
+			return b.tiles.One(out.Tile(tb/nT, tb%nT, g))
 		})
 	}
 	// The reduce chain of tile t ends at its ring owner o(t) = t % P; the
@@ -235,31 +231,29 @@ func (b *Builder) RingAllReduce(name string, m, n int, in InTiles, out LocalGrid
 			}
 			d := kernel.TBDesc{Group: -1, In: in(g, mi, ni)}
 			if g != (o+1)%b.P {
-				d.In = append(append([]kernel.Tile{}, d.In...), hopTile(t, g))
+				d.In = b.tiles.With(d.In, hopTile(t, g))
 			}
-			publish := []kernel.Tile{hopTile(t, next)}
+			publish := hopTile(t, next)
 			if next == o {
-				publish = []kernel.Tile{out.Tile(mi, ni, o)}
+				publish = out.Tile(mi, ni, o)
 			}
-			d.Post = []kernel.Access{{
+			d.Post = b.accs.One(kernel.Access{
 				Sem: kernel.SemWrite, Mode: noc.OpStore,
 				Addr: base + uint64(t)*addrsPerTile, Home: next, Bytes: tileBytes,
-				PublishAt: func(int) []kernel.Tile { return publish },
-			}}
+				Publish: b.tiles.One(publish),
+			})
 			return d
 		}
 		// Gather-forward phase: forward the reduced copy once it arrives.
-		d := kernel.TBDesc{Group: -1, In: []kernel.Tile{out.Tile(mi, ni, g)}}
+		d := kernel.TBDesc{Group: -1, In: b.tiles.One(out.Tile(mi, ni, g))}
 		if next == o {
 			return d
 		}
-		d.Post = []kernel.Access{{
+		d.Post = b.accs.One(kernel.Access{
 			Sem: kernel.SemWrite, Mode: noc.OpStore,
 			Addr: base + uint64(tiles+t)*addrsPerTile, Home: next, Bytes: tileBytes,
-			PublishAt: func(recv int) []kernel.Tile {
-				return []kernel.Tile{out.Tile(mi, ni, recv)}
-			},
-		}}
+			PublishEach: out.Tile(mi, ni, 0),
+		})
 		return d
 	})
 }
@@ -275,7 +269,7 @@ func (b *Builder) P2PAllGather(name string, src Sharded, cols int, in InTiles, o
 	base := b.M.AllocAddrs(mT * b.P * addrsPerRow)
 	if b.P == 1 {
 		return b.localCopyKernel(name, mT, in, func(mi, g int) []kernel.Tile {
-			return []kernel.Tile{out.Tile(mi, g)}
+			return b.tiles.One(out.Tile(mi, g))
 		})
 	}
 	return b.commKernel(name, mT, func(g, tb int) kernel.TBDesc {
@@ -286,21 +280,23 @@ func (b *Builder) P2PAllGather(name string, src Sharded, cols int, in InTiles, o
 		d := kernel.TBDesc{
 			Group: -1,
 			In:    in(g, mi, 0),
-			Out:   []kernel.Tile{out.Tile(mi, g)},
+			Out:   b.tiles.One(out.Tile(mi, g)),
+			Post:  b.accs.Make(b.P - 1),
 		}
+		i := 0
 		for peer := 0; peer < b.P; peer++ {
 			if peer == g {
 				continue
 			}
-			recv := peer
-			d.Post = append(d.Post, kernel.Access{
+			// Each store's sole receiver is its home peer, so PublishEach
+			// resolves to out.Tile(mi, peer) there.
+			d.Post[i] = kernel.Access{
 				Sem: kernel.SemWrite, Mode: noc.OpStore,
 				Addr: base + uint64(mi*b.P+peer)*uint64(addrsPerRow),
 				Home: peer, Bytes: rowBytes,
-				PublishAt: func(int) []kernel.Tile {
-					return []kernel.Tile{out.Tile(mi, recv)}
-				},
-			})
+				PublishEach: out.Tile(mi, 0),
+			}
+			i++
 		}
 		return d
 	})
@@ -319,7 +315,7 @@ func (b *Builder) GateKernel(name string, chunks int, in func(g, c int) []kernel
 			return kernel.TBDesc{
 				Group: -1,
 				In:    in(g, tb),
-				Out:   []kernel.Tile{gate(tb, g)},
+				Out:   b.tiles.One(gate(tb, g)),
 			}
 		},
 	}

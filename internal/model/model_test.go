@@ -11,7 +11,7 @@ import (
 	"cais/internal/sim"
 )
 
-func testBuilder(t *testing.T) *Builder {
+func testBuilder(t testing.TB) *Builder {
 	t.Helper()
 	hw := config.DGXH100()
 	hw.NumGPUs = 4
@@ -49,7 +49,7 @@ func TestTileHelpers(t *testing.T) {
 			}
 		}
 	}
-	if len(l.RowTiles(2, 1)) != 3 {
+	if len(l.RowTiles(2, 1, nil)) != 3 {
 		t.Fatal("RowTiles must span NTiles")
 	}
 }
@@ -271,7 +271,7 @@ func TestCommKernelShapes(t *testing.T) {
 	if len(ownerTB.Post) != 1 || ownerTB.Post[0].Mode != noc.OpMultimemST {
 		t.Fatalf("owner AG TB = %+v", ownerTB.Post)
 	}
-	if ownerTB.Post[0].PublishAt == nil {
+	if ownerTB.Post[0].PublishEach.Buf == 0 {
 		t.Fatal("multicast must publish per receiver")
 	}
 	// Non-owners do nothing.

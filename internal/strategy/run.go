@@ -194,7 +194,7 @@ func lowerRowOp(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p *p
 		local := st.local
 		out := b.NewLocalGrid(op.Rows, local.NTiles*model.TileN)
 		k := b.LocalRowOp(op.Name, op.Rows, local.NTiles*model.TileN,
-			func(g, mi, ni int) []kernel.Tile { return []kernel.Tile{local.Tile(mi, ni, g)} }, out)
+			func(g, mi, ni int) []kernel.Tile { return b.Tile1(local.Tile(mi, ni, g)) }, out)
 		p.add(spec.Barrier, k)
 		*st = actState{kind: stateLocal, local: out}
 
@@ -203,7 +203,7 @@ func lowerRowOp(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p *p
 		parts := st.parts
 		out := b.NewSharded(op.Rows)
 		k := b.ShardedRowOp(op.Name, kind, op.Rows, op.Cols,
-			func(g, mi, _ int) []kernel.Tile { return parts.RowTiles(mi, 0) }, out)
+			func(g, mi, _ int) []kernel.Tile { return b.RowTiles(parts, mi, 0) }, out)
 		p.add(spec.Barrier, k)
 		*st = actState{kind: stateSharded, sharded: out}
 
@@ -211,7 +211,7 @@ func lowerRowOp(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p *p
 		src := st.sharded
 		out := b.NewSharded(op.Rows)
 		k := b.ShardedRowOp(op.Name, kind, op.Rows, op.Cols,
-			func(g, mi, _ int) []kernel.Tile { return []kernel.Tile{src.Tile(mi)} }, out)
+			func(g, mi, _ int) []kernel.Tile { return b.Tile1(src.Tile(mi)) }, out)
 		p.add(spec.Barrier, k)
 		*st = actState{kind: stateSharded, sharded: out}
 
@@ -219,7 +219,7 @@ func lowerRowOp(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p *p
 		src := st.gathered
 		out := b.NewGathered(op.Rows)
 		k := b.ReplicatedRowOp(op.Name, kind, op.Rows, op.Cols,
-			func(g, mi, _ int) []kernel.Tile { return []kernel.Tile{src.Tile(mi, g)} }, out)
+			func(g, mi, _ int) []kernel.Tile { return b.Tile1(src.Tile(mi, g)) }, out)
 		p.add(spec.Barrier, k)
 		*st = actState{kind: stateGathered, gathered: out}
 
@@ -227,7 +227,7 @@ func lowerRowOp(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p *p
 		copies := st.local
 		out := b.NewGathered(op.Rows)
 		k := b.ReplicatedRowOp(op.Name, kind, op.Rows, op.Cols,
-			func(g, mi, _ int) []kernel.Tile { return copies.RowTiles(mi, g) }, out)
+			func(g, mi, _ int) []kernel.Tile { return b.RowTiles(copies, mi, g) }, out)
 		p.add(spec.Barrier, k)
 		*st = actState{kind: stateGathered, gathered: out}
 
@@ -253,13 +253,13 @@ func lowerColGEMM(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p 
 		}
 		src := st.gathered
 		k := b.GEMM(op.Name, op.M, nLocal, op.K, scale,
-			func(g, mi, ni int) []kernel.Tile { return []kernel.Tile{src.Tile(mi, g)} }, out)
+			func(g, mi, ni int) []kernel.Tile { return b.Tile1(src.Tile(mi, g)) }, out)
 		p.add(spec.Barrier, k)
 
 	case AGNVLS, AGRing, AGP2PPush:
 		src := needSharded(st, op.Name)
 		copies := b.NewGathered(op.M)
-		in := func(g, mi, _ int) []kernel.Tile { return []kernel.Tile{src.Tile(mi)} }
+		in := func(g, mi, _ int) []kernel.Tile { return b.Tile1(src.Tile(mi)) }
 		var ag *kernel.Kernel
 		switch spec.Gather {
 		case AGNVLS:
@@ -272,7 +272,7 @@ func lowerColGEMM(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p 
 			panic("strategy: unreachable gather impl inside AGNVLS/AGRing/AGP2PPush case")
 		}
 		gemm := b.GEMM(op.Name, op.M, nLocal, op.K, scale,
-			func(g, mi, ni int) []kernel.Tile { return []kernel.Tile{copies.Tile(mi, g)} }, out)
+			func(g, mi, ni int) []kernel.Tile { return b.Tile1(copies.Tile(mi, g)) }, out)
 		// Stage mode keeps the gather and its consumer together for
 		// fine-grained AG-GEMM overlap (T3's extension); Global mode
 		// splits them (p.add handles both).
@@ -304,7 +304,7 @@ func lowerRowGEMM(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p 
 		panic(fmt.Sprintf("strategy: row GEMM %q needs a local input grid, have state %d", op.Name, st.kind))
 	}
 	input := st.local
-	in := func(g, mi, ni int) []kernel.Tile { return input.RowTiles(mi, g) }
+	in := func(g, mi, ni int) []kernel.Tile { return b.RowTiles(input, mi, g) }
 	scale := op.ComputeScale()
 
 	switch spec.Reduce {
@@ -312,7 +312,7 @@ func lowerRowGEMM(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p 
 		partial := b.NewLocalGrid(op.M, op.N)
 		gemm := b.GEMM(op.Name, op.M, op.N, kLocal, scale, in, partial)
 		copies := b.NewLocalGrid(op.M, op.N)
-		commIn := func(g, mi, ni int) []kernel.Tile { return []kernel.Tile{partial.Tile(mi, ni, g)} }
+		commIn := func(g, mi, ni int) []kernel.Tile { return b.Tile1(partial.Tile(mi, ni, g)) }
 		build := func(name string, cin model.InTiles) *kernel.Kernel {
 			if spec.Reduce == RedARNVLS {
 				return b.NVLSAllReduce(name, op.M, op.N, cin, copies)
@@ -337,17 +337,14 @@ func lowerRowGEMM(b *model.Builder, spec Spec, op model.OpSpec, st *actState, p 
 		if spec.Reduce == RedRSNVLSPull {
 			commIn := func(g, mi, ni int) []kernel.Tile {
 				// The pull fans reads to every GPU's replica: all partials
-				// of this tile must be in place.
-				tiles := make([]kernel.Tile, 0, P)
-				for pg := 0; pg < P; pg++ {
-					tiles = append(tiles, partial.Tile(mi, ni, pg))
-				}
-				return tiles
+				// of this tile must be in place (interned: the set is the
+				// same for every requesting GPU and iteration).
+				return b.PeerTiles(partial, mi, ni)
 			}
 			rs = b.NVLSReduceScatter("rs."+op.Name, op.M, op.N, commIn, red, parts)
 		} else {
 			commIn := func(g, mi, ni int) []kernel.Tile {
-				return []kernel.Tile{partial.Tile(mi, ni, g)}
+				return b.Tile1(partial.Tile(mi, ni, g))
 			}
 			rs = b.RingReduceScatter("rs."+op.Name, op.M, op.N, commIn, red, parts)
 		}
@@ -395,20 +392,28 @@ func chunkedComms(b *model.Builder, spec Spec, op model.OpSpec,
 		}
 		return c
 	}
+	// Gate inputs intern per (gpu, chunk): the set is identical on every
+	// Work re-evaluation, so one immutable slice serves them all.
+	gateIn := make(map[[2]int][]kernel.Tile)
 	gate, gateTile := b.GateKernel("gate."+op.Name, C, func(g, c int) []kernel.Tile {
+		key := [2]int{g, c}
+		if tiles, ok := gateIn[key]; ok {
+			return tiles
+		}
 		var tiles []kernel.Tile
 		for mi := 0; mi < mT; mi++ {
 			if chunkOf(mi) != c {
 				continue
 			}
-			tiles = append(tiles, partial.RowTiles(mi, g)...)
+			tiles = append(tiles, b.RowTiles(partial, mi, g)...)
 		}
+		gateIn[key] = tiles
 		return tiles
 	})
 	out := []*kernel.Kernel{gate}
 	if spec.FusedComm {
 		k := build("ar."+op.Name, func(g, mi, ni int) []kernel.Tile {
-			return []kernel.Tile{gateTile(chunkOf(mi), g)}
+			return b.Tile1(gateTile(chunkOf(mi), g))
 		})
 		return append(out, k)
 	}
@@ -418,7 +423,7 @@ func chunkedComms(b *model.Builder, spec Spec, op model.OpSpec,
 			if chunkOf(mi) != c {
 				return nil
 			}
-			return []kernel.Tile{gateTile(c, g)}
+			return b.Tile1(gateTile(c, g))
 		})
 		out = append(out, chunkFiltered(k, chunkOf, c, model.NTiles(op.N), model.MTiles(op.M)*model.NTiles(op.N)))
 	}

@@ -28,7 +28,7 @@ trap 'rm -f "$raw"' EXIT
 # The root package carries the per-experiment regeneration benchmarks
 # (BenchmarkFig*, BenchmarkServingSweep, ...); it joins the full suite only —
 # quick mode sticks to the fast engine/tooling microbenchmarks.
-pkgs="./internal/sim/ ./internal/trace/ ./internal/metrics/ ./internal/lint/"
+pkgs="./internal/sim/ ./internal/trace/ ./internal/metrics/ ./internal/lint/ ./internal/model/ ./internal/machine/"
 if [ "$quick" = 0 ]; then
 	pkgs=". $pkgs"
 fi

@@ -1,0 +1,41 @@
+#!/bin/sh
+# profile.sh — capture CPU and allocation profiles of the simulator's hot
+# path. Runs the three workloads the allocation ceilings pin (Fig. 17 GPU
+# scaling, Table II, Fig. 13b coordination ablation) as benchmarks with
+# -cpuprofile/-memprofile, drops the pprof files under profiles/, and
+# prints the top allocation sites so a regression is visible in the CI log
+# without downloading the artifact.
+#
+# The profiles are the ground truth for the zero-alloc kernel-construction
+# work (DESIGN.md §10): before touching a pool or an arena, look at what
+# actually allocates.
+#
+# Usage:
+#   scripts/profile.sh                 # profiles -> profiles/
+#   PROFILE_DIR=path scripts/profile.sh
+#   PROFILE_BENCH='BenchmarkFig17GPUScaling' scripts/profile.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir="${PROFILE_DIR:-profiles}"
+bench="${PROFILE_BENCH:-BenchmarkFig17GPUScaling|BenchmarkTable2ScaledDown|BenchmarkFig13Coordination}"
+mkdir -p "$dir"
+
+echo "== profiling $bench -> $dir/"
+go test -run='^$' -bench="$bench" -benchmem -count=1 \
+	-cpuprofile "$dir/cpu.pprof" \
+	-memprofile "$dir/mem.pprof" \
+	-o "$dir/bench.test" \
+	.
+
+# Keep the binary next to the profiles: `go tool pprof` needs it to
+# symbolize, and the artifact is useless without matching symbols.
+echo
+echo "== top allocation sites (alloc_objects)"
+go tool pprof -top -nodecount=15 -sample_index=alloc_objects "$dir/bench.test" "$dir/mem.pprof"
+echo
+echo "== top CPU (cum)"
+go tool pprof -top -nodecount=15 -cum "$dir/bench.test" "$dir/cpu.pprof"
+echo
+echo "profiles written: $dir/cpu.pprof $dir/mem.pprof (binary: $dir/bench.test)"
